@@ -1,0 +1,84 @@
+"""Ablation — overlay hop counts: CAN dimensionality and CAN vs. Chord.
+
+Section 3.1.1 notes that the paper's d = 2 CAN gives ``n^{1/2}`` hop growth
+and that choosing a larger d (or a logarithmic DHT such as Chord) would
+improve the scalability curves.  This ablation measures average lookup path
+length as a function of network size for CAN with d ∈ {2, 3} and for Chord,
+and compares each against its closed-form prediction.
+"""
+
+import statistics
+
+from bench_common import report, scaled
+from repro.dht.can import CanNetworkBuilder
+from repro.dht.chord import ChordNetworkBuilder
+from repro.dht.naming import hash_key
+from repro.harness import analytical
+from repro.net.network import Network
+from repro.net.topology import FullMeshTopology
+
+LOOKUPS_PER_POINT = 60
+
+
+def measure_hops(builder, network, routings) -> float:
+    source = routings[0]
+    for resource in range(LOOKUPS_PER_POINT):
+        source.lookup(hash_key("hops", resource), lambda owner: None)
+    network.run_until_idle()
+    observed = source.lookup_hops_observed
+    return statistics.mean(observed) if observed else 0.0
+
+
+def sweep():
+    rows = []
+    for num_nodes in (scaled(64), scaled(256), scaled(1024)):
+        for label, make_builder, predicted in (
+            ("can d=2", lambda: CanNetworkBuilder(dimensions=2),
+             analytical.can_average_hops(1, 2)),
+            ("can d=3", lambda: CanNetworkBuilder(dimensions=3),
+             analytical.can_average_hops(1, 3)),
+            ("chord", ChordNetworkBuilder,
+             analytical.chord_average_hops(1)),
+        ):
+            network = Network(FullMeshTopology(num_nodes, latency_s=0.0,
+                                               capacity_bytes_per_s=float("inf")))
+            builder = make_builder()
+            routings = builder.build_stabilized(network)
+            mean_hops = measure_hops(builder, network, routings)
+            if label == "can d=2":
+                model = analytical.can_average_hops(num_nodes, 2)
+            elif label == "can d=3":
+                model = analytical.can_average_hops(num_nodes, 3)
+            else:
+                model = analytical.chord_average_hops(num_nodes)
+            rows.append({
+                "nodes": num_nodes,
+                "dht": label,
+                "mean_lookup_hops": round(mean_hops, 2),
+                "model_hops": round(model, 2),
+            })
+    return rows
+
+
+def test_ablation_dht_hops(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("ablation_dht_hops",
+           "Ablation: average lookup hops vs. network size, by DHT", rows)
+
+    def hops(dht, nodes):
+        return next(row["mean_lookup_hops"] for row in rows
+                    if row["dht"] == dht and row["nodes"] == nodes)
+
+    sizes = sorted({row["nodes"] for row in rows})
+    small, large = sizes[0], sizes[-1]
+
+    # CAN with d=2 shows clear polynomial growth in path length.
+    assert hops("can d=2", large) > 1.5 * hops("can d=2", small)
+    # Raising the dimensionality shortens paths at the same size.
+    assert hops("can d=3", large) < hops("can d=2", large)
+    # Chord's logarithmic routing is far shorter than CAN d=2 at scale and
+    # grows much more slowly.
+    assert hops("chord", large) < 0.6 * hops("can d=2", large)
+    growth_chord = hops("chord", large) / max(hops("chord", small), 0.5)
+    growth_can = hops("can d=2", large) / max(hops("can d=2", small), 0.5)
+    assert growth_chord < growth_can

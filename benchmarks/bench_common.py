@@ -1,0 +1,97 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 5).  The simulations are scaled down from the paper's 1024–10,000
+nodes to keep a pure-Python event simulator tractable (see DESIGN.md); set
+the ``PIER_BENCH_SCALE`` environment variable to a float > 1 to scale node
+counts back up when you have the time budget.
+
+Each benchmark prints its rows with :func:`repro.harness.reporting.format_table`
+and also writes them to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
+can quote them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness import PierNetwork, SimulationConfig, run_query
+from repro.harness.reporting import format_table
+from repro.workloads import JoinWorkload, WorkloadConfig
+
+#: Directory where benchmark result tables are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """User-controlled scale factor for node counts (default 1.0)."""
+    try:
+        return max(0.1, float(os.environ.get("PIER_BENCH_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def scaled(count: int) -> int:
+    """Scale a node count by ``PIER_BENCH_SCALE`` (minimum of 2)."""
+    return max(2, int(round(count * bench_scale())))
+
+
+def build_loaded_network(num_nodes: int,
+                         s_tuples_per_node: int = 2,
+                         seed: int = 0,
+                         topology: str = "full_mesh",
+                         bandwidth_bytes_per_s: Optional[float] = None,
+                         dht: str = "can",
+                         infinite_bandwidth: bool = False,
+                         workload_overrides: Optional[dict] = None,
+                         ) -> tuple:
+    """Build a PIER deployment with the benchmark workload loaded.
+
+    Returns ``(pier, workload)``.
+    """
+    workload_config = dict(num_nodes=num_nodes, s_tuples_per_node=s_tuples_per_node,
+                           seed=seed)
+    if workload_overrides:
+        workload_config.update(workload_overrides)
+    workload = JoinWorkload(WorkloadConfig(**workload_config))
+    simulation = SimulationConfig(
+        num_nodes=num_nodes,
+        topology=topology,
+        dht=dht,
+        seed=seed,
+        bandwidth_bytes_per_s=None if infinite_bandwidth else (
+            bandwidth_bytes_per_s if bandwidth_bytes_per_s is not None else
+            SimulationConfig(num_nodes=2).bandwidth_bytes_per_s
+        ),
+    )
+    pier = PierNetwork(simulation)
+    pier.load_relation(workload.r_relation, workload.r_by_node)
+    pier.load_relation(workload.s_relation, workload.s_by_node)
+    return pier, workload
+
+
+def run_benchmark_query(pier: PierNetwork, workload: JoinWorkload, strategy,
+                        s_selectivity: Optional[float] = None,
+                        computation_nodes: Optional[Sequence[int]] = None,
+                        collection_window_s: Optional[float] = None,
+                        initiator: int = 0):
+    """Run the Section 5.1 query with the given strategy and knobs."""
+    options = {}
+    if collection_window_s is not None:
+        options["collection_window_s"] = collection_window_s
+    query = workload.make_query(strategy=strategy, s_selectivity=s_selectivity, **options)
+    if computation_nodes is not None:
+        query.computation_nodes = list(computation_nodes)
+    return run_query(pier, query, initiator=initiator)
+
+
+def report(name: str, title: str, rows: List[Dict],
+           columns: Optional[Sequence[str]] = None) -> str:
+    """Print a result table and persist it under ``benchmarks/results``."""
+    table = format_table(title, rows, columns=columns)
+    print("\n" + table)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")
+    return table

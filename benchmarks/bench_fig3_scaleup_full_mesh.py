@@ -1,0 +1,72 @@
+"""Figure 3 — time to the 30th result tuple as nodes and load scale together.
+
+The paper scales the network from 2 to 10,000 simulated nodes while keeping
+the data per node constant, and plots the time to the 30th result tuple for
+1, 2, 8, 16 and N computation nodes.  The headline observations, which this
+benchmark checks at reduced scale:
+
+* with **all** nodes computing, the response time degrades only by a small
+  factor across two orders of magnitude of scale-up (the residual growth is
+  the ``n^{1/2}`` CAN lookup path);
+* with a **small fixed number** of computation nodes, their inbound links
+  congest as the load grows and response time blows up.
+"""
+
+from bench_common import build_loaded_network, report, run_benchmark_query, scaled
+from repro.core.query import JoinStrategy
+
+
+def sweep():
+    node_counts = [scaled(count) for count in (2, 8, 32, 64, 128)]
+    configurations = [("1", 1), ("8", 8), ("N", None)]
+    rows = []
+    for num_nodes in node_counts:
+        for label, computation_count in configurations:
+            if computation_count is not None and computation_count >= num_nodes:
+                continue
+            pier, workload = build_loaded_network(num_nodes, s_tuples_per_node=2, seed=5)
+            computation_nodes = (
+                list(range(1, computation_count + 1)) if computation_count else None
+            )
+            outcome = run_benchmark_query(pier, workload, JoinStrategy.SYMMETRIC_HASH,
+                                          computation_nodes=computation_nodes)
+            rows.append({
+                "nodes": num_nodes,
+                "computation_nodes": label,
+                "results": outcome.result_count,
+                "t_30th_s": outcome.latency.time_to_kth,
+                "t_last_s": outcome.latency.time_to_last,
+                "max_inbound_mb": outcome.traffic.max_inbound_mb,
+            })
+    return rows
+
+
+def test_fig3_scaleup_full_mesh(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("fig3_scaleup_full_mesh",
+           "Figure 3: time to 30th result tuple, fully connected topology", rows)
+
+    all_nodes_curve = {row["nodes"]: row["t_30th_s"] for row in rows
+                       if row["computation_nodes"] == "N"}
+    one_node_inbound = {row["nodes"]: row["max_inbound_mb"] for row in rows
+                        if row["computation_nodes"] == "1"}
+    all_nodes_inbound = {row["nodes"]: row["max_inbound_mb"] for row in rows
+                         if row["computation_nodes"] == "N"}
+
+    smallest = min(all_nodes_curve)
+    largest = max(all_nodes_curve)
+
+    # Graceful scale-up with N computation nodes: the paper reports only a
+    # ~4x degradation from 2 to 10,000 nodes; across our (smaller) range the
+    # degradation must stay within an order of magnitude.
+    assert all_nodes_curve[largest] <= 10.0 * max(all_nodes_curve[smallest], 0.2)
+
+    # A single computation node becomes the hot spot as the load grows: it
+    # receives a large multiple of any node's inbound traffic in the fully
+    # distributed configuration, and that hot-spot load grows with the
+    # network size while the distributed configuration spreads it.  (At our
+    # scaled-down data volume per node the congestion is visible in the hot
+    # node's inbound traffic rather than in the 30th-tuple time, which needs
+    # the paper's ~0.5 MB/node load to move; see EXPERIMENTS.md.)
+    assert one_node_inbound[largest] > 3.0 * all_nodes_inbound[largest]
+    assert one_node_inbound[largest] > 2.0 * one_node_inbound[smallest]

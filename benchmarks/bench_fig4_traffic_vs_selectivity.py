@@ -1,0 +1,83 @@
+"""Figure 4 — aggregate network traffic vs. selectivity of the predicate on S.
+
+The paper sweeps the selectivity of S's selection from 10 % to 100 % and
+plots the aggregate traffic of the four join strategies (1024 nodes, ~1 GB of
+base data).  The shape to reproduce:
+
+* symmetric hash join uses the most network resources (it rehashes both
+  tables regardless) and grows with selectivity (more S fragments and more
+  results);
+* Fetch Matches moves an essentially constant amount of data, because the
+  selection on S cannot be pushed into the DHT;
+* the symmetric semi-join rewrite grows roughly linearly with selectivity
+  (it only fetches matching tuples);
+* the Bloom rewrite tracks the semi-join at low selectivity (the filters
+  eliminate most of R's rehash) and approaches symmetric hash at high
+  selectivity.
+"""
+
+from bench_common import build_loaded_network, report, run_benchmark_query, scaled
+from repro.core.query import JoinStrategy
+
+SELECTIVITIES = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def sweep():
+    num_nodes = scaled(64)
+    rows = []
+    for selectivity in SELECTIVITIES:
+        for strategy in JoinStrategy:
+            pier, workload = build_loaded_network(num_nodes, s_tuples_per_node=2, seed=6)
+            outcome = run_benchmark_query(pier, workload, strategy,
+                                          s_selectivity=selectivity)
+            traffic = outcome.traffic
+            rows.append({
+                "selectivity_pct": int(selectivity * 100),
+                "strategy": strategy.value,
+                "results": outcome.result_count,
+                "tuple_traffic_mb": (traffic.data_shipping_bytes
+                                     + traffic.result_bytes
+                                     + traffic.multicast_bytes) / 1e6,
+                "total_mb": traffic.total_mb,
+                "max_inbound_mb": traffic.max_inbound_mb,
+            })
+    return rows
+
+
+def curve(rows, strategy):
+    return {row["selectivity_pct"]: row["tuple_traffic_mb"]
+            for row in rows if row["strategy"] == strategy}
+
+
+def test_fig4_traffic_vs_selectivity(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("fig4_traffic_vs_selectivity",
+           "Figure 4: aggregate network traffic vs. selectivity on S", rows)
+
+    shj = curve(rows, "symmetric_hash")
+    fetch = curve(rows, "fetch_matches")
+    semi = curve(rows, "symmetric_semi_join")
+    bloom = curve(rows, "bloom")
+    low, high = min(shj), max(shj)
+
+    # Symmetric hash grows with selectivity and is the heaviest at low and
+    # mid selectivities.
+    assert shj[high] > shj[low]
+    assert shj[low] > semi[low]
+    assert shj[low] > bloom[low]
+    assert shj[50] >= semi[50]
+
+    # Fetch Matches is roughly flat relative to the others' growth.
+    fetch_growth = fetch[high] / fetch[low]
+    shj_growth = shj[high] / shj[low]
+    semi_growth = semi[high] / semi[low]
+    assert fetch_growth < semi_growth
+    assert fetch[low] < shj[low]
+
+    # The semi-join rewrite grows (roughly linearly) with selectivity.
+    assert semi[high] > semi[low]
+
+    # Bloom filters eliminate most rehashing at low selectivity, but the
+    # advantage over symmetric hash erodes as selectivity rises.
+    assert bloom[low] < 0.8 * shj[low]
+    assert (bloom[high] / shj[high]) > (bloom[low] / shj[low])

@@ -1,0 +1,54 @@
+"""Compare PIER's four distributed join strategies on one workload.
+
+Runs the Section 5.1 benchmark query with each of the four algorithms of
+Section 4 — symmetric hash join, Fetch Matches, symmetric semi-join rewrite
+and Bloom-filter rewrite — over the same 48-node network and data, and prints
+the completion time and traffic of each (a miniature of the paper's Table 4
+and Figures 4/5).
+
+Run with: ``python examples/join_strategies_comparison.py``
+"""
+
+from repro import JoinStrategy, PierNetwork, SimulationConfig, run_query
+from repro.harness.reporting import format_table
+from repro.workloads import JoinWorkload, WorkloadConfig
+
+
+def run_one(strategy: JoinStrategy, s_selectivity: float) -> dict:
+    num_nodes = 48
+    workload = JoinWorkload(WorkloadConfig(num_nodes=num_nodes, s_tuples_per_node=2, seed=21))
+    pier = PierNetwork(SimulationConfig(num_nodes=num_nodes, seed=21))
+    pier.load_relation(workload.r_relation, workload.r_by_node)
+    pier.load_relation(workload.s_relation, workload.s_by_node)
+    query = workload.make_query(strategy=strategy, s_selectivity=s_selectivity)
+    result = run_query(pier, query, initiator=0)
+    return {
+        "strategy": strategy.value,
+        "results": result.result_count,
+        "t_last_s": result.latency.time_to_last,
+        "total_mb": result.traffic.total_mb,
+        "rehash_mb": result.traffic.data_shipping_bytes / 1e6,
+        "max_inbound_mb": result.traffic.max_inbound_mb,
+    }
+
+
+def main() -> None:
+    for selectivity in (0.2, 0.5, 0.9):
+        rows = [run_one(strategy, selectivity) for strategy in JoinStrategy]
+        print(format_table(
+            f"\nJoin strategies at S-selectivity {int(selectivity * 100)}%",
+            rows,
+            columns=["strategy", "results", "t_last_s", "total_mb",
+                     "rehash_mb", "max_inbound_mb"],
+        ))
+    print(
+        "\nExpected shape (paper §5.5): symmetric hash rehashes the most data;"
+        "\nFetch Matches traffic is roughly flat across selectivities; the"
+        "\nsemi-join rewrite ships only matching tuples; the Bloom rewrite"
+        "\nhelps at low selectivity but approaches symmetric hash at high"
+        "\nselectivity and always pays extra latency for its two extra phases."
+    )
+
+
+if __name__ == "__main__":
+    main()

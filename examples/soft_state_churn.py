@@ -1,0 +1,53 @@
+"""Soft state under churn: how refresh period trades bandwidth for recall.
+
+Reproduces, at demo scale, the dynamic behind the paper's Figure 6: nodes
+fail continuously, taking the soft state they stored with them; publishers
+renew their tuples every ``refresh`` seconds, so a shorter refresh period
+repairs the damage faster and yields higher recall.
+
+Run with: ``python examples/soft_state_churn.py``
+"""
+
+from repro import PierNetwork, SimulationConfig
+from repro.harness.reporting import format_table
+from repro.harness.softstate import run_soft_state_experiment
+from repro.harness import analytical
+from repro.workloads import JoinWorkload, WorkloadConfig
+
+
+def main() -> None:
+    num_nodes = 48
+    failure_rate_per_min = 3.0   # ~6 % of the nodes per minute, as in the paper's worst case
+    rows = []
+    for refresh_period in (30.0, 60.0, 150.0):
+        pier = PierNetwork(SimulationConfig(num_nodes=num_nodes, seed=13))
+        workload = JoinWorkload(WorkloadConfig(num_nodes=num_nodes, s_tuples_per_node=2, seed=13))
+        result = run_soft_state_experiment(
+            pier, workload,
+            refresh_period_s=refresh_period,
+            failure_rate_per_min=failure_rate_per_min,
+            num_queries=3,
+            query_interval_s=60.0,
+            warmup_s=30.0,
+            query_horizon_s=45.0,
+            seed=13,
+        )
+        rows.append({
+            "refresh_s": refresh_period,
+            "failures_per_min": failure_rate_per_min,
+            "avg_recall_pct": round(result.average_recall_percent, 2),
+            "model_recall_pct": round(
+                100 * analytical.expected_recall(failure_rate_per_min, refresh_period, num_nodes), 2
+            ),
+        })
+    print(format_table(
+        "Average recall vs. refresh period under churn "
+        f"({num_nodes} nodes, {failure_rate_per_min} failures/min)",
+        rows,
+    ))
+    print("\nShorter refresh periods repair lost tuples sooner, so recall rises"
+          "\nas the refresh period shrinks — the paper's Figure 6 trend.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (or
+without network access to fetch it), via ``pip install -e . --no-build-isolation``
+or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

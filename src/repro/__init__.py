@@ -1,0 +1,80 @@
+"""PIER reproduction: a DHT-based massively distributed relational query engine.
+
+This package re-implements, from scratch in Python, the system described in
+"Querying the Internet with PIER" (Huebsch, Hellerstein, Lanham, Loo,
+Shenker, Stoica — VLDB 2003): the PIER query processor with its four
+DHT-based distributed join strategies, the CAN and Chord overlays it runs
+on, the Provider/storage-manager soft-state substrate, and the
+discrete-event network simulator used for the paper's evaluation.
+
+Quick start::
+
+    from repro import SimulationConfig, PierNetwork, run_query
+    from repro.workloads import WorkloadConfig, JoinWorkload
+
+    workload = JoinWorkload(WorkloadConfig(num_nodes=16, s_tuples_per_node=2))
+    pier = PierNetwork(SimulationConfig(num_nodes=16))
+    pier.load_relation(workload.r_relation, workload.r_by_node)
+    pier.load_relation(workload.s_relation, workload.s_by_node)
+    result = run_query(pier, workload.make_query(), initiator=0)
+    print(result.latency.as_row(), result.traffic.as_row())
+"""
+
+from repro.core import (
+    BloomFilter,
+    Catalog,
+    JoinClause,
+    JoinStrategy,
+    QueryExecutor,
+    QueryHandle,
+    QuerySpec,
+    SQLPlanner,
+    TableRef,
+    parse_sql,
+)
+from repro.core.tuples import Column, RelationDef, Schema
+from repro.dht import CanNetworkBuilder, CanRouting, ChordNetworkBuilder, ChordRouting, Provider
+from repro.harness import PierNetwork, QueryRunResult, SimulationConfig, run_query
+from repro.net import FullMeshTopology, Network, Simulator, TransitStubTopology, ClusterTopology
+from repro.workloads import JoinWorkload, NetworkMonitoringWorkload, WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "QuerySpec",
+    "TableRef",
+    "JoinClause",
+    "JoinStrategy",
+    "QueryExecutor",
+    "QueryHandle",
+    "BloomFilter",
+    "Catalog",
+    "SQLPlanner",
+    "parse_sql",
+    "Column",
+    "Schema",
+    "RelationDef",
+    # dht
+    "CanRouting",
+    "CanNetworkBuilder",
+    "ChordRouting",
+    "ChordNetworkBuilder",
+    "Provider",
+    # net
+    "Simulator",
+    "Network",
+    "FullMeshTopology",
+    "TransitStubTopology",
+    "ClusterTopology",
+    # workloads
+    "WorkloadConfig",
+    "JoinWorkload",
+    "NetworkMonitoringWorkload",
+    # harness
+    "SimulationConfig",
+    "PierNetwork",
+    "QueryRunResult",
+    "run_query",
+]

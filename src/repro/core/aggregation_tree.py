@@ -1,0 +1,60 @@
+"""Hierarchical in-network aggregation (extension of the paper's Section 7).
+
+The paper's flat DHT-based aggregation ships every node's partial aggregate
+directly to the node owning the group's key, which concentrates inbound
+traffic at that owner.  Section 7 discusses (without implementing)
+hierarchical schemes in the spirit of Astrolabe/TAG.  We implement one such
+scheme so the trade-off can be measured:
+
+* **Level 1** — each source node deterministically maps itself to one of
+  ``branching`` combiner buckets (by hashing its address); its partial states
+  are ``put`` under a resourceID that encodes ``(level-1, bucket, group)``,
+  so they land on the bucket's combiner node.
+* **Level 0** — after a partial collection window, each combiner merges what
+  it received and forwards a single combined partial per group to the
+  group's final owner (``(level-0, group)``), which merges and reports to the
+  initiator.
+
+This needs no global membership knowledge (every step is a DHT ``put``), cuts
+the final owner's inbound message count from ``O(n)`` to ``O(branching)``,
+and is exercised by the ``bench_ablation_hierarchical_agg`` benchmark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Tuple
+
+#: Default number of level-1 combiner buckets.
+DEFAULT_BRANCHING = 8
+
+
+def combiner_bucket(address: int, query_id: int, branching: int = DEFAULT_BRANCHING) -> int:
+    """Deterministic combiner bucket for a source node (varies per query)."""
+    digest = hashlib.sha1(f"{query_id}:{address}".encode("ascii")).digest()
+    return int.from_bytes(digest[:4], "big") % max(1, branching)
+
+
+def level1_resource_id(bucket: int, group_key: Tuple) -> Tuple:
+    """ResourceID routing a partial to the level-1 combiner of ``bucket``."""
+    return ("agg-l1", bucket, group_key)
+
+
+def level0_resource_id(group_key: Tuple) -> Tuple:
+    """ResourceID routing a combined partial to the group's final owner."""
+    return ("agg-l0", group_key)
+
+
+def is_level1(resource_id: Any) -> bool:
+    """Whether a stored aggregation item is a level-1 (combiner) partial."""
+    return isinstance(resource_id, tuple) and len(resource_id) == 3 and resource_id[0] == "agg-l1"
+
+
+def is_level0(resource_id: Any) -> bool:
+    """Whether a stored aggregation item is a level-0 (final-owner) partial."""
+    return isinstance(resource_id, tuple) and len(resource_id) == 2 and resource_id[0] == "agg-l0"
+
+
+def group_of(resource_id: Tuple) -> Tuple:
+    """Extract the group key from either level's resourceID."""
+    return resource_id[-1]

@@ -1,0 +1,126 @@
+"""Catalog manager (a "future work" item of the paper, implemented here).
+
+The paper notes that declarative queries need a catalog, that catalogs are
+small but have stronger availability needs than ordinary data, and that the
+catalog facility should "reuse the DHT and query processor".  This module
+provides:
+
+* a local, in-memory catalog mapping relation names to
+  :class:`repro.core.tuples.RelationDef`;
+* optional publication of catalog entries into a dedicated DHT namespace
+  (``__catalog__``) with a long soft-state lifetime, so any node can fetch a
+  relation definition it does not know with a normal ``get``.
+
+The SQL planner resolves table names against a Catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.tuples import Column, RelationDef, Schema
+from repro.exceptions import CatalogError
+
+#: DHT namespace used for published catalog entries.
+CATALOG_NAMESPACE = "__catalog__"
+#: Lifetime of published catalog entries (they matter more than data).
+CATALOG_LIFETIME_S = 3600.0
+
+
+class Catalog:
+    """Relation-name → definition mapping with optional DHT publication."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, RelationDef] = {}
+
+    # -------------------------------------------------------------- local API
+
+    def register(self, relation: RelationDef, replace: bool = False) -> RelationDef:
+        """Add a relation definition; refuses silent redefinition."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and not replace:
+            raise CatalogError(f"relation {relation.name!r} already registered")
+        self._relations[relation.name] = relation
+        return relation
+
+    def define(self, name: str, columns, primary_key: Optional[str] = None,
+               namespace: Optional[str] = None,
+               tuple_bytes: Optional[int] = None) -> RelationDef:
+        """Convenience: build and register a relation from column specs.
+
+        ``columns`` may be a list of :class:`Column` or ``(name, type)`` pairs.
+        """
+        built = []
+        for column in columns:
+            if isinstance(column, Column):
+                built.append(column)
+            else:
+                column_name, column_type = column
+                built.append(Column(column_name, column_type))
+        relation = RelationDef(
+            name=name,
+            schema=Schema(built),
+            namespace=namespace,
+            primary_key=primary_key,
+            tuple_bytes=tuple_bytes,
+        )
+        return self.register(relation)
+
+    def lookup(self, name: str) -> RelationDef:
+        """Return the definition of ``name`` or raise :class:`CatalogError`."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise CatalogError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relations(self) -> List[str]:
+        """Names of all registered relations."""
+        return sorted(self._relations)
+
+    def drop(self, name: str) -> None:
+        """Remove a relation definition."""
+        if name not in self._relations:
+            raise CatalogError(f"unknown relation {name!r}")
+        del self._relations[name]
+
+    # ---------------------------------------------------------- DHT publication
+
+    def publish(self, provider, lifetime: float = CATALOG_LIFETIME_S) -> int:
+        """Publish every registered definition into the catalog namespace.
+
+        Returns the number of entries published.  Entries are stored keyed by
+        relation name so any node can ``get`` them.
+        """
+        published = 0
+        for name, relation in self._relations.items():
+            provider.put(
+                CATALOG_NAMESPACE,
+                name,
+                None,
+                relation,
+                lifetime=lifetime,
+                item_bytes=128,
+            )
+            published += 1
+        return published
+
+    def fetch_remote(self, provider, name: str,
+                     callback: Callable[[Optional[RelationDef]], None]) -> None:
+        """Fetch a relation definition from the DHT catalog namespace.
+
+        The callback receives the definition (also cached locally) or ``None``
+        if no entry was found.
+        """
+
+        def _on_items(items) -> None:
+            if not items:
+                callback(None)
+                return
+            relation = items[0].value
+            self._relations.setdefault(name, relation)
+            callback(relation)
+
+        provider.get(CATALOG_NAMESPACE, name, _on_items)

@@ -1,0 +1,123 @@
+"""Continuous queries over streams (extension of the paper's Section 7).
+
+PIER's push-based, asynchronous engine makes continuous queries a small
+step: the paper notes that wrapped network traces behave as unbounded
+streams and that "windowing" is the first ingredient needed.  This module
+provides two building blocks:
+
+* :class:`PeriodicQuery` — re-submits a query spec on a fixed period from
+  the initiating node, collecting one :class:`repro.core.executor.QueryHandle`
+  per window.  Each execution is an ordinary PIER query over whatever soft
+  state is live at that moment, which composes naturally with publishers
+  that keep streaming new tuples in.
+* :class:`SlidingWindowPredicate` — helper that builds a predicate
+  restricting a timestamp column to the trailing window, so each periodic
+  execution only sees recent data.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.expressions import And, Comparison, Expression, col, lit
+from repro.core.query import QuerySpec, next_query_id
+
+
+@dataclass
+class SlidingWindowPredicate:
+    """Builds ``timestamp_column >= now - window`` predicates."""
+
+    timestamp_column: str
+    window_s: float
+
+    def at(self, now: float) -> Expression:
+        """Predicate selecting rows inside the window ending at ``now``."""
+        return Comparison(">=", col(self.timestamp_column), lit(now - self.window_s))
+
+    def combined_with(self, other: Optional[Expression], now: float) -> Expression:
+        """Window predicate AND-ed with an existing predicate (if any)."""
+        window = self.at(now)
+        if other is None:
+            return window
+        return And([other, window])
+
+
+class PeriodicQuery:
+    """Re-execute a query spec every ``period_s`` seconds from one node.
+
+    Parameters
+    ----------
+    executor:
+        The initiating node's query executor.
+    query_template:
+        The query to re-run.  Each execution gets a fresh ``query_id`` so its
+        temporary namespaces do not collide with previous windows.
+    period_s:
+        Interval between executions.
+    window:
+        Optional sliding-window helper applied to the first table's local
+        predicate before each execution.
+    on_window:
+        Optional callback invoked with each new :class:`QueryHandle` at the
+        moment it is submitted.
+    """
+
+    def __init__(self, executor, query_template: QuerySpec, period_s: float,
+                 window: Optional[SlidingWindowPredicate] = None,
+                 on_window: Optional[Callable] = None):
+        if period_s <= 0:
+            raise ValueError("continuous queries need a positive period")
+        self.executor = executor
+        self.query_template = query_template
+        self.period_s = period_s
+        self.window = window
+        self.on_window = on_window
+        self.handles: List = []
+        self._timer = None
+
+    # ----------------------------------------------------------------- drive
+
+    def start(self, immediate: bool = True) -> None:
+        """Begin periodic execution (optionally firing the first window now)."""
+        if self._timer is not None:
+            return
+        if immediate:
+            self._execute_window()
+        self._timer = self.executor.node.schedule_periodic(
+            self.period_s, self._execute_window
+        )
+
+    def stop(self) -> None:
+        """Stop scheduling further windows."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -------------------------------------------------------------- internals
+
+    def _execute_window(self) -> None:
+        query = copy.deepcopy(self.query_template)
+        query.query_id = next_query_id()
+        if self.window is not None:
+            alias = query.tables[0].alias
+            existing = query.local_predicates.get(alias)
+            query.local_predicates[alias] = self.window.combined_with(
+                existing, self.executor.now
+            )
+        handle = self.executor.submit(query)
+        self.handles.append(handle)
+        if self.on_window is not None:
+            self.on_window(handle)
+
+    # ---------------------------------------------------------------- results
+
+    @property
+    def windows_executed(self) -> int:
+        """Number of windows submitted so far."""
+        return len(self.handles)
+
+    def latest_handle(self):
+        """Handle of the most recently submitted window (or ``None``)."""
+        return self.handles[-1] if self.handles else None

@@ -1,0 +1,654 @@
+"""Per-node query executor: dissemination, distributed joins, aggregation.
+
+Every node runs one :class:`QueryExecutor`.  The initiating node calls
+:meth:`QueryExecutor.submit`, which multicasts the :class:`QuerySpec` into
+the query namespace; every reachable node's executor receives it and starts
+the node-local work dictated by the query's strategy:
+
+* **symmetric hash join** — ``lscan`` both tables, apply local selections,
+  project, and ``put`` each surviving tuple into the query's temporary
+  rehash namespace keyed by its join value; nodes owning partitions of that
+  namespace probe on every ``newData`` arrival and stream matches to the
+  initiator (paper §4.1).
+* **Fetch Matches** — ``lscan`` the non-indexed table and issue a ``get``
+  per tuple against the table already hashed on the join attribute; apply
+  the fetched side's predicates at the computation node (they cannot be
+  pushed into the DHT, §4.1).
+* **symmetric semi-join** — rehash only (resourceID, join key) projections,
+  probe as above, then fetch both full tuples of each surviving pair in
+  parallel (§4.2).
+* **Bloom join** — publish per-node Bloom filters of each side's join keys
+  to per-table collector namespaces; collectors OR them and multicast the
+  summaries; sources then rehash only tuples passing the opposite filter
+  (§4.2).
+* **aggregation** — partial aggregates are computed locally and shipped to
+  group owners (flat hash aggregation), optionally through the hierarchical
+  combiner tree of :mod:`repro.core.aggregation_tree`.
+
+Results are streamed directly to the initiator (single IP hop), which
+records per-tuple arrival times so the harness can report the paper's
+"time to the k-th / last result tuple" metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import aggregation_tree
+from repro.core.bloom import BloomFilter
+from repro.core.operators.aggregate import GroupByAggregate
+from repro.core.plan import (
+    build_final_aggregation,
+    build_partial_aggregation_pipeline,
+    build_source_pipeline,
+    finalize_aggregation_rows,
+)
+from repro.core.query import JoinStrategy, QuerySpec
+from repro.core.tuples import merge_rows, project_row, qualify
+from repro.dht.naming import hash_key
+from repro.dht.provider import DHTItem, Provider
+from repro.exceptions import PlanError
+from repro.net.node import Node
+
+#: Namespace queries are multicast into.
+QUERY_NAMESPACE = "__pier_queries__"
+#: Approximate wire size of a multicast query description.
+QUERY_MESSAGE_BYTES = 400
+#: Wire size of one aggregation result row shipped to the initiator.
+AGG_RESULT_ROW_BYTES = 64
+#: Wire size of one shipped partial-aggregate record.
+PARTIAL_STATE_BYTES = 48
+
+
+class QueryHandle:
+    """Initiator-side view of a running (or finished) query."""
+
+    def __init__(self, query: QuerySpec, submitted_at: float):
+        self.query = query
+        self.submitted_at = submitted_at
+        #: ``(arrival_virtual_time, row)`` in arrival order.
+        self.arrivals: List[Tuple[float, dict]] = []
+
+    # ---------------------------------------------------------------- record
+
+    def record(self, time: float, row: dict) -> None:
+        """Record one result row arriving at the initiator."""
+        self.arrivals.append((time, row))
+
+    # ----------------------------------------------------------------- views
+
+    @property
+    def rows(self) -> List[dict]:
+        """All result rows received so far, in arrival order."""
+        return [row for _time, row in self.arrivals]
+
+    @property
+    def result_count(self) -> int:
+        """Number of result rows received so far."""
+        return len(self.arrivals)
+
+    def time_to_kth(self, k: int) -> Optional[float]:
+        """Elapsed time from submission to the k-th result row (1-based)."""
+        if k <= 0 or k > len(self.arrivals):
+            return None
+        return self.arrivals[k - 1][0] - self.submitted_at
+
+    def time_to_last(self) -> Optional[float]:
+        """Elapsed time from submission to the last received result row."""
+        if not self.arrivals:
+            return None
+        return self.arrivals[-1][0] - self.submitted_at
+
+    def arrival_times(self) -> List[float]:
+        """Elapsed times of every result row."""
+        return [time - self.submitted_at for time, _row in self.arrivals]
+
+    def final_rows(self) -> List[dict]:
+        """Result rows after any initiator-side finalisation.
+
+        For non-distributed aggregation queries the raw rows streamed back by
+        participants are grouped/aggregated here; for everything else this is
+        just :attr:`rows`.
+        """
+        query = self.query
+        if query.is_aggregation and not query.distributed_aggregation:
+            final = GroupByAggregate(
+                group_by=query.group_by,
+                aggregates=[(a.function, a.column, a.alias) for a in query.aggregates],
+                having=None,
+            )
+            final.push_many(self.rows)
+            return finalize_aggregation_rows(query, final)
+        return self.rows
+
+
+@dataclass
+class _PendingSemiJoinFetch:
+    """State of one semi-join pair awaiting its two full-tuple fetches."""
+
+    left_alias: str
+    right_alias: str
+    left_rows: Optional[List[dict]] = None
+    right_rows: Optional[List[dict]] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.left_rows is not None and self.right_rows is not None
+
+
+@dataclass
+class _NodeQueryState:
+    """Per-node bookkeeping for one active query."""
+
+    query: QuerySpec
+    arrived_at: float
+    bloom_accumulators: Dict[str, BloomFilter] = field(default_factory=dict)
+    bloom_received: Dict[str, bool] = field(default_factory=dict)
+    rehash_done_for: set = field(default_factory=set)
+    pending_fetches: Dict[int, _PendingSemiJoinFetch] = field(default_factory=dict)
+    fetch_sequence: int = 0
+
+
+class QueryExecutor:
+    """PIER query processor instance running on one node."""
+
+    SERVICE_NAME = "pier.executor"
+    PROTOCOL_RESULT = "pier.result"
+
+    def __init__(self, node: Node, provider: Provider):
+        self.node = node
+        self.provider = provider
+        self._states: Dict[int, _NodeQueryState] = {}
+        self._handles: Dict[int, QueryHandle] = {}
+        provider.on_multicast(QUERY_NAMESPACE, self._on_query_multicast)
+        node.register_handler(self.PROTOCOL_RESULT, self._on_result)
+        node.services[self.SERVICE_NAME] = self
+
+    # ------------------------------------------------------------------ util
+
+    @classmethod
+    def of(cls, node: Node) -> "QueryExecutor":
+        """Fetch the executor installed on ``node``."""
+        return node.services[cls.SERVICE_NAME]
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.node.now
+
+    # ------------------------------------------------------- initiator side
+
+    def submit(self, query: QuerySpec) -> QueryHandle:
+        """Submit a query from this node; returns the handle collecting results."""
+        query.initiator = self.node.address
+        handle = QueryHandle(query, submitted_at=self.now)
+        self._handles[query.query_id] = handle
+        self.provider.multicast(
+            QUERY_NAMESPACE, query.query_id, query, payload_bytes=QUERY_MESSAGE_BYTES
+        )
+        return handle
+
+    def handle(self, query_id: int) -> QueryHandle:
+        """Handle of a query previously submitted from this node."""
+        return self._handles[query_id]
+
+    def _on_result(self, node: Node, message) -> None:
+        payload = message.payload
+        handle = self._handles.get(payload["query_id"])
+        if handle is None:
+            return
+        for row in payload["rows"]:
+            handle.record(self.now, row)
+
+    def _send_results(self, query: QuerySpec, rows: List[dict],
+                      bytes_per_row: Optional[int] = None) -> None:
+        """Ship result rows directly to the initiator (or record them locally)."""
+        if not rows:
+            return
+        if bytes_per_row is None:
+            bytes_per_row = query.result_tuple_bytes
+        if query.initiator == self.node.address:
+            handle = self._handles.get(query.query_id)
+            if handle is not None:
+                for row in rows:
+                    handle.record(self.now, row)
+            return
+        self.node.send(
+            query.initiator,
+            self.PROTOCOL_RESULT,
+            payload={"query_id": query.query_id, "rows": rows},
+            payload_bytes=len(rows) * bytes_per_row,
+        )
+
+    # ----------------------------------------------------- participant side
+
+    def _on_query_multicast(self, namespace: str, resource_id, query: QuerySpec,
+                            origin: int) -> None:
+        if query.query_id in self._states:
+            return
+        state = _NodeQueryState(query=query, arrived_at=self.now)
+        self._states[query.query_id] = state
+
+        if query.is_join:
+            strategy = query.strategy
+            if strategy is JoinStrategy.SYMMETRIC_HASH:
+                self._start_symmetric_hash(query, state)
+            elif strategy is JoinStrategy.FETCH_MATCHES:
+                self._start_fetch_matches(query, state)
+            elif strategy is JoinStrategy.SYMMETRIC_SEMI_JOIN:
+                self._start_semi_join(query, state)
+            elif strategy is JoinStrategy.BLOOM:
+                self._start_bloom(query, state)
+            else:  # pragma: no cover - enum is exhaustive
+                raise PlanError(f"unknown join strategy {strategy}")
+        elif query.is_aggregation and query.distributed_aggregation:
+            self._start_distributed_aggregation(query, state)
+        else:
+            self._start_scan_query(query, state)
+
+    # ----------------------------------------------------- simple scan query
+
+    def _start_scan_query(self, query: QuerySpec, state: _NodeQueryState) -> None:
+        """Selection/projection-only query (or initiator-side aggregation)."""
+        alias = query.tables[0].alias
+        needed = None
+        if query.output_columns and not query.is_aggregation:
+            needed = [column.split(".", 1)[1] for column in query.output_columns_for(alias)]
+        scan, collector = build_source_pipeline(self.provider, query, alias,
+                                                project_to=needed)
+        scan.run()
+        rows = [qualify(alias, row) for row in collector.rows]
+        if query.output_columns and not query.is_aggregation:
+            rows = [project_row(row, query.output_columns) for row in rows]
+        self._send_results(query, rows, bytes_per_row=query.result_tuple_bytes)
+
+    # ------------------------------------------------- symmetric hash join
+
+    def _start_symmetric_hash(self, query: QuerySpec, state: _NodeQueryState) -> None:
+        rehash_namespace = query.rehash_namespace()
+        self._register_probe(query, rehash_namespace)
+        for alias in query.aliases:
+            self._rehash_table(query, alias, rehash_namespace)
+
+    def _put_fragment(self, query: QuerySpec, namespace: str, resource_id,
+                      value: dict, item_bytes: int) -> None:
+        """Publish a temporary query fragment, honouring computation-node limits."""
+        if query.computation_nodes:
+            nodes = query.computation_nodes
+            target = nodes[hash_key(namespace, resource_id) % len(nodes)]
+            self.provider.put_direct(
+                target, namespace, resource_id, None, value,
+                lifetime=query.temp_lifetime_s, item_bytes=item_bytes,
+            )
+        else:
+            self.provider.put(
+                namespace, resource_id, None, value,
+                lifetime=query.temp_lifetime_s, item_bytes=item_bytes,
+            )
+
+    def _rehash_table(self, query: QuerySpec, alias: str, rehash_namespace: str,
+                      bloom_filter: Optional[BloomFilter] = None) -> int:
+        """Scan/select/project a table locally and rehash survivors on the join key."""
+        scan, collector = build_source_pipeline(self.provider, query, alias)
+        scan.run()
+        key_column = query.join.key_column(alias)
+        item_bytes = query.projected_tuple_bytes(alias)
+        rehashed = 0
+        for row in collector.rows:
+            join_value = row[key_column]
+            if bloom_filter is not None and join_value not in bloom_filter:
+                continue
+            self._put_fragment(
+                query, rehash_namespace, join_value,
+                {"side": alias, "row": row}, item_bytes,
+            )
+            rehashed += 1
+        return rehashed
+
+    def _register_probe(self, query: QuerySpec, rehash_namespace: str,
+                        semi_join: bool = False) -> None:
+        """Register the newData probe for the rehash namespace on this node."""
+
+        def _on_new(item: DHTItem, query=query, semi_join=semi_join) -> None:
+            self._probe(query, item, semi_join=semi_join)
+
+        self.provider.on_new_data(rehash_namespace, _on_new)
+        # Process any fragments that arrived before this node learned of the
+        # query (possible because rehash puts race the query multicast).
+        backlog = sorted(
+            self.provider.lscan(rehash_namespace), key=lambda item: item.instance_id
+        )
+        seen: List[DHTItem] = []
+        for item in backlog:
+            self._probe(query, item, semi_join=semi_join, restrict_to=seen)
+            seen.append(item)
+
+    def _probe(self, query: QuerySpec, item: DHTItem, semi_join: bool = False,
+               restrict_to: Optional[List[DHTItem]] = None) -> None:
+        """Probe the local rehash partition with a newly arrived fragment."""
+        value = item.value
+        side = value["side"]
+        row = value["row"]
+        other_alias = query.join.other_alias(side)
+        if restrict_to is not None:
+            candidates = restrict_to
+        else:
+            candidates = self.provider.get_local(item.namespace, item.resource_id)
+        matches: List[Tuple[dict, dict]] = []
+        for candidate in candidates:
+            candidate_value = candidate.value
+            if candidate_value["side"] != other_alias:
+                continue
+            if candidate.instance_id == item.instance_id:
+                continue
+            if restrict_to is not None and candidate.resource_id != item.resource_id:
+                continue
+            if side == query.join.left_alias:
+                matches.append((row, candidate_value["row"]))
+            else:
+                matches.append((candidate_value["row"], row))
+        if not matches:
+            return
+        if semi_join:
+            for left_row, right_row in matches:
+                self._fetch_semi_join_pair(query, left_row, right_row)
+        else:
+            self._emit_join_results(query, matches)
+
+    def _emit_join_results(self, query: QuerySpec,
+                           matches: List[Tuple[dict, dict]]) -> None:
+        """Apply the residual predicate, project, and ship matched pairs."""
+        results = []
+        for left_row, right_row in matches:
+            merged = merge_rows(
+                qualify(query.join.left_alias, left_row),
+                qualify(query.join.right_alias, right_row),
+            )
+            if query.post_join_predicate is not None and not query.post_join_predicate.evaluate(merged):
+                continue
+            if query.output_columns:
+                results.append(project_row(merged, query.output_columns))
+            else:
+                results.append(merged)
+        self._send_results(query, results)
+
+    # ------------------------------------------------------- fetch matches
+
+    def _fetch_sides(self, query: QuerySpec) -> Tuple[str, str]:
+        """Return ``(scan_alias, fetch_alias)`` for the Fetch Matches strategy.
+
+        The fetched side must already be hashed (stored) on its join
+        attribute, i.e. its join column is its resourceID column.
+        """
+        hashed = [
+            alias
+            for alias in query.aliases
+            if query.join.key_column(alias) == query.table(alias).relation.resource_id_column
+        ]
+        if not hashed:
+            raise PlanError(
+                "Fetch Matches requires one table to be hashed on its join attribute"
+            )
+        fetch_alias = hashed[-1]
+        scan_alias = query.join.other_alias(fetch_alias)
+        return scan_alias, fetch_alias
+
+    def _start_fetch_matches(self, query: QuerySpec, state: _NodeQueryState) -> None:
+        scan_alias, fetch_alias = self._fetch_sides(query)
+        scan, collector = build_source_pipeline(self.provider, query, scan_alias)
+        scan.run()
+        fetch_relation = query.table(fetch_alias).relation
+        key_column = query.join.key_column(scan_alias)
+        for row in collector.rows:
+            join_value = row[key_column]
+
+            def _on_fetch(items, row=row) -> None:
+                self._on_fetch_matches_reply(query, scan_alias, fetch_alias, row, items)
+
+            self.provider.get(fetch_relation.namespace, join_value, _on_fetch)
+
+    def _on_fetch_matches_reply(self, query: QuerySpec, scan_alias: str,
+                                fetch_alias: str, scan_row: dict,
+                                items: List[DHTItem]) -> None:
+        predicate = query.local_predicates.get(fetch_alias)
+        matches = []
+        for item in items:
+            fetched_row = item.value
+            if not isinstance(fetched_row, dict):
+                continue
+            if predicate is not None and not predicate.evaluate(fetched_row):
+                continue
+            if scan_alias == query.join.left_alias:
+                matches.append((scan_row, fetched_row))
+            else:
+                matches.append((fetched_row, scan_row))
+        if matches:
+            self._emit_join_results(query, matches)
+
+    # --------------------------------------------------- symmetric semi-join
+
+    def _start_semi_join(self, query: QuerySpec, state: _NodeQueryState) -> None:
+        rehash_namespace = query.rehash_namespace()
+        self._register_probe(query, rehash_namespace, semi_join=True)
+        for alias in query.aliases:
+            relation = query.table(alias).relation
+            key_column = query.join.key_column(alias)
+            projection = sorted({relation.resource_id_column, key_column})
+            scan, collector = build_source_pipeline(
+                self.provider, query, alias, project_to=projection
+            )
+            scan.run()
+            # Only resourceID + join key cross the network in this phase.
+            item_bytes = 8 * len(projection) + 8
+            for row in collector.rows:
+                self._put_fragment(
+                    query, rehash_namespace, row[key_column],
+                    {"side": alias, "row": row}, item_bytes,
+                )
+
+    def _fetch_semi_join_pair(self, query: QuerySpec, left_projection: dict,
+                              right_projection: dict) -> None:
+        """Fetch both full tuples of a matched projection pair, in parallel."""
+        state = self._states[query.query_id]
+        state.fetch_sequence += 1
+        pair_id = state.fetch_sequence
+        pending = _PendingSemiJoinFetch(
+            left_alias=query.join.left_alias, right_alias=query.join.right_alias
+        )
+        state.pending_fetches[pair_id] = pending
+
+        def _collect(side: str, items: List[DHTItem]) -> None:
+            rows = [item.value for item in items if isinstance(item.value, dict)]
+            if side == "left":
+                pending.left_rows = rows
+            else:
+                pending.right_rows = rows
+            if pending.complete:
+                del state.pending_fetches[pair_id]
+                self._finish_semi_join_pair(query, pending)
+
+        left_relation = query.table(query.join.left_alias).relation
+        right_relation = query.table(query.join.right_alias).relation
+        left_key = left_projection[left_relation.resource_id_column]
+        right_key = right_projection[right_relation.resource_id_column]
+        self.provider.get(left_relation.namespace, left_key,
+                          lambda items: _collect("left", items))
+        self.provider.get(right_relation.namespace, right_key,
+                          lambda items: _collect("right", items))
+
+    def _finish_semi_join_pair(self, query: QuerySpec,
+                               pending: _PendingSemiJoinFetch) -> None:
+        matches = []
+        join = query.join
+        for left_row in pending.left_rows or ():
+            for right_row in pending.right_rows or ():
+                if left_row.get(join.left_column) != right_row.get(join.right_column):
+                    continue
+                matches.append((left_row, right_row))
+        if matches:
+            self._emit_join_results(query, matches)
+
+    # -------------------------------------------------------------- bloom join
+
+    def _start_bloom(self, query: QuerySpec, state: _NodeQueryState) -> None:
+        rehash_namespace = query.rehash_namespace()
+        self._register_probe(query, rehash_namespace)
+        for alias in query.aliases:
+            # Subscribe to the distribution multicast of the *opposite* side's
+            # filter: when table ``alias``'s summary arrives, the other table
+            # gets rehashed against it.
+            distribution_namespace = self._bloom_distribution_namespace(query, alias)
+            self.provider.multicast_service.subscribe(
+                distribution_namespace,
+                lambda namespace, resource_id, item, origin, alias=alias: (
+                    self._on_bloom_filter(query, alias, item)
+                ),
+            )
+            # Build and publish the local filter for this side.  Collector
+            # nodes simply receive these puts; they OR whatever is stored
+            # locally when their collection window closes (no callback needed,
+            # which also covers filters that arrive before the collector has
+            # heard about the query).
+            self._publish_local_bloom(query, alias)
+        # If this node turns out to be a collector it must flush after the
+        # collection window; scheduling unconditionally is harmless.
+        self.node.schedule(query.collection_window_s, self._flush_bloom_collectors, query)
+
+    @staticmethod
+    def _bloom_distribution_namespace(query: QuerySpec, alias: str) -> str:
+        return f"__pier_bloomdist_{query.query_id}_{alias}__"
+
+    def _publish_local_bloom(self, query: QuerySpec, alias: str) -> None:
+        scan, collector = build_source_pipeline(self.provider, query, alias)
+        scan.run()
+        if not collector.rows:
+            return
+        key_column = query.join.key_column(alias)
+        bloom = BloomFilter(query.bloom_bits, query.bloom_hashes)
+        bloom.update(row[key_column] for row in collector.rows)
+        self.provider.put(
+            query.bloom_namespace(alias),
+            "collector",
+            None,
+            bloom,
+            lifetime=query.temp_lifetime_s,
+            item_bytes=bloom.size_bytes,
+        )
+
+    def _flush_bloom_collectors(self, query: QuerySpec) -> None:
+        """OR the filters stored locally for each side and multicast the summary."""
+        state = self._states.get(query.query_id)
+        if state is None:
+            return
+        for alias in query.aliases:
+            accumulator: Optional[BloomFilter] = None
+            for item in self.provider.lscan(query.bloom_namespace(alias)):
+                incoming = item.value
+                if not isinstance(incoming, BloomFilter):
+                    continue
+                if accumulator is None:
+                    accumulator = incoming.copy()
+                else:
+                    accumulator.union_in_place(incoming)
+            if accumulator is None or accumulator.is_empty():
+                continue
+            self.provider.multicast(
+                self._bloom_distribution_namespace(query, alias),
+                "filter",
+                accumulator,
+                payload_bytes=accumulator.size_bytes,
+            )
+
+    def _on_bloom_filter(self, query: QuerySpec, filtered_alias: str,
+                         bloom: BloomFilter) -> None:
+        """A summary of ``filtered_alias``'s join keys arrived: rehash the other side."""
+        state = self._states.get(query.query_id)
+        if state is None:
+            return
+        rehash_alias = query.join.other_alias(filtered_alias)
+        marker = (rehash_alias, "bloom-rehash")
+        if marker in state.rehash_done_for:
+            return
+        state.rehash_done_for.add(marker)
+        self._rehash_table(query, rehash_alias, query.rehash_namespace(),
+                           bloom_filter=bloom)
+
+    # ------------------------------------------------------------ aggregation
+
+    def _start_distributed_aggregation(self, query: QuerySpec,
+                                       state: _NodeQueryState) -> None:
+        namespace = query.aggregation_namespace()
+        alias = query.tables[0].alias
+        scan, partial = build_partial_aggregation_pipeline(self.provider, query, alias)
+        scan.run()
+        payloads = partial.partial_payloads()
+        if query.hierarchical_aggregation:
+            bucket = aggregation_tree.combiner_bucket(self.node.address, query.query_id)
+            for group_key, states in payloads.items():
+                self.provider.put(
+                    namespace,
+                    aggregation_tree.level1_resource_id(bucket, group_key),
+                    None,
+                    {"group": group_key, "partials": states, "level": 1},
+                    lifetime=query.temp_lifetime_s,
+                    item_bytes=PARTIAL_STATE_BYTES,
+                )
+            self.node.schedule(
+                query.collection_window_s * 0.6, self._flush_combiners, query
+            )
+        else:
+            for group_key, states in payloads.items():
+                self.provider.put(
+                    namespace,
+                    aggregation_tree.level0_resource_id(group_key),
+                    None,
+                    {"group": group_key, "partials": states, "level": 0},
+                    lifetime=query.temp_lifetime_s,
+                    item_bytes=PARTIAL_STATE_BYTES,
+                )
+        # The hierarchical path needs headroom for the extra combiner->owner
+        # hop before the final flush.
+        final_delay = query.collection_window_s * (1.3 if query.hierarchical_aggregation else 1.0)
+        self.node.schedule(final_delay, self._flush_aggregation, query)
+
+    def _flush_combiners(self, query: QuerySpec) -> None:
+        """Level-1 combiners merge what they received and forward level-0 partials."""
+        namespace = query.aggregation_namespace()
+        combined: Dict[Tuple, GroupByAggregate] = {}
+        for item in self.provider.lscan(namespace):
+            if not aggregation_tree.is_level1(item.resource_id):
+                continue
+            value = item.value
+            group_key = tuple(value["group"])
+            merger = combined.get(group_key)
+            if merger is None:
+                merger = build_final_aggregation(query)
+                combined[group_key] = merger
+            merger.merge_partial(group_key, value["partials"])
+        for group_key, merger in combined.items():
+            payloads = merger.partial_payloads()[group_key]
+            self.provider.put(
+                namespace,
+                aggregation_tree.level0_resource_id(group_key),
+                None,
+                {"group": group_key, "partials": payloads, "level": 0},
+                lifetime=query.temp_lifetime_s,
+                item_bytes=PARTIAL_STATE_BYTES,
+            )
+
+    def _flush_aggregation(self, query: QuerySpec) -> None:
+        """Group owners merge level-0 partials, apply HAVING and report."""
+        namespace = query.aggregation_namespace()
+        final = build_final_aggregation(query)
+        saw_any = False
+        for item in self.provider.lscan(namespace):
+            if not aggregation_tree.is_level0(item.resource_id):
+                continue
+            value = item.value
+            final.merge_partial(tuple(value["group"]), value["partials"])
+            saw_any = True
+        if not saw_any:
+            return
+        rows = finalize_aggregation_rows(query, final)
+        self._send_results(query, rows, bytes_per_row=AGG_RESULT_ROW_BYTES)

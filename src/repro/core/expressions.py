@@ -1,0 +1,290 @@
+"""Expression trees for predicates and scalar computation.
+
+The paper's benchmark query uses simple comparison predicates, an equi-join
+condition and an opaque user-defined function ``f(R.num3, S.num3)`` that can
+only be evaluated after the join.  The network-monitoring examples add
+arithmetic over aggregates (``count(*) * sum(R.weight)``).  This module
+provides a small, explicit expression language covering those needs:
+
+* :class:`ColumnRef` / :class:`Literal` — leaves;
+* :class:`Comparison` — ``= != < <= > >=``;
+* :class:`And` / :class:`Or` / :class:`Not` — boolean connectives;
+* :class:`Arithmetic` — ``+ - * /``;
+* :class:`FunctionCall` — calls into a registry of scalar UDFs.
+
+Expressions are evaluated against a *row environment*: a dict mapping column
+names (qualified like ``"R.num2"`` or bare like ``"num2"``) to values.
+``columns_referenced`` lets planners decide which predicates are local to one
+table and which must wait until after the join.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Set
+
+from repro.exceptions import ExpressionError
+
+Row = Dict[str, Any]
+
+#: Registry of scalar user-defined functions usable in FunctionCall.
+_UDF_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_udf(name: str, function: Callable[..., Any]) -> None:
+    """Register a scalar UDF so queries can reference it by name."""
+    _UDF_REGISTRY[name.lower()] = function
+
+
+def udf(name: str) -> Callable[..., Any]:
+    """Look up a registered UDF by name."""
+    try:
+        return _UDF_REGISTRY[name.lower()]
+    except KeyError:
+        raise ExpressionError(f"no UDF registered under {name!r}") from None
+
+
+class Expression(ABC):
+    """Base class of the expression tree."""
+
+    @abstractmethod
+    def evaluate(self, row: Row) -> Any:
+        """Evaluate against a row environment."""
+
+    @abstractmethod
+    def columns_referenced(self) -> Set[str]:
+        """Every column name mentioned anywhere in the expression."""
+
+    # Convenience constructors so tests and examples read naturally.
+    def __and__(self, other: "Expression") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Expression") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+    def columns_referenced(self) -> Set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column, optionally qualified (``"R.num2"``)."""
+
+    name: str
+
+    def evaluate(self, row: Row) -> Any:
+        if self.name in row:
+            return row[self.name]
+        # Allow an unqualified reference to resolve a qualified column (or
+        # vice versa) when it is unambiguous.
+        if "." in self.name:
+            bare = self.name.split(".", 1)[1]
+            if bare in row:
+                return row[bare]
+        else:
+            matches = [key for key in row if key.endswith("." + self.name)]
+            if len(matches) == 1:
+                return row[matches[0]]
+            if len(matches) > 1:
+                raise ExpressionError(
+                    f"ambiguous column reference {self.name!r}: {sorted(matches)}"
+                )
+        raise ExpressionError(f"row has no column {self.name!r} (row keys: {sorted(row)})")
+
+    def columns_referenced(self) -> Set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"ColumnRef({self.name!r})"
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """Binary comparison between two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        return bool(_COMPARATORS[self.op](self.left.evaluate(row), self.right.evaluate(row)))
+
+    def columns_referenced(self) -> Set[str]:
+        return self.left.columns_referenced() | self.right.columns_referenced()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic between two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, row: Row) -> Any:
+        return _ARITHMETIC[self.op](self.left.evaluate(row), self.right.evaluate(row))
+
+    def columns_referenced(self) -> Set[str]:
+        return self.left.columns_referenced() | self.right.columns_referenced()
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction of one or more predicates."""
+
+    terms: Sequence[Expression]
+
+    def evaluate(self, row: Row) -> bool:
+        return all(term.evaluate(row) for term in self.terms)
+
+    def columns_referenced(self) -> Set[str]:
+        referenced: Set[str] = set()
+        for term in self.terms:
+            referenced |= term.columns_referenced()
+        return referenced
+
+    def flattened(self) -> List[Expression]:
+        """All conjuncts, with nested :class:`And` nodes flattened."""
+        conjuncts: List[Expression] = []
+        for term in self.terms:
+            if isinstance(term, And):
+                conjuncts.extend(term.flattened())
+            else:
+                conjuncts.append(term)
+        return conjuncts
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction of one or more predicates."""
+
+    terms: Sequence[Expression]
+
+    def evaluate(self, row: Row) -> bool:
+        return any(term.evaluate(row) for term in self.terms)
+
+    def columns_referenced(self) -> Set[str]:
+        referenced: Set[str] = set()
+        for term in self.terms:
+            referenced |= term.columns_referenced()
+        return referenced
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Negation of a predicate."""
+
+    term: Expression
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.term.evaluate(row)
+
+    def columns_referenced(self) -> Set[str]:
+        return self.term.columns_referenced()
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Call to a registered scalar UDF, e.g. the paper's ``f(R.num3, S.num3)``."""
+
+    name: str
+    args: Sequence[Expression]
+
+    def evaluate(self, row: Row) -> Any:
+        function = udf(self.name)
+        return function(*(argument.evaluate(row) for argument in self.args))
+
+    def columns_referenced(self) -> Set[str]:
+        referenced: Set[str] = set()
+        for argument in self.args:
+            referenced |= argument.columns_referenced()
+        return referenced
+
+
+# --------------------------------------------------------------------------
+# Convenience constructors
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for :class:`ColumnRef`."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def compare(left, op: str, right) -> Comparison:
+    """Build a comparison, wrapping bare values/column names automatically."""
+    return Comparison(op, _wrap(left), _wrap(right))
+
+
+def _wrap(value) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, str):
+        return ColumnRef(value)
+    return Literal(value)
+
+
+def tables_referenced(expression: Expression) -> Set[str]:
+    """Table aliases mentioned by qualified column references."""
+    aliases = set()
+    for name in expression.columns_referenced():
+        if "." in name:
+            aliases.add(name.split(".", 1)[0])
+    return aliases
+
+
+# The paper's benchmark UDF: any deterministic function of the two join-side
+# attributes works, since its role is only to force post-join evaluation.
+register_udf("f", lambda x, y: (x + y) % 100)

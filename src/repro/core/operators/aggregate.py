@@ -1,0 +1,297 @@
+"""Grouping and aggregation.
+
+PIER implements "DHT-based hash grouping and aggregation ... analogous to
+what is done in parallel databases": each node computes *partial* aggregate
+states over its local data, ships each group's partial to the node
+responsible for that group's key, and the group owner merges partials into
+the final value.  The classes here provide the algebra that makes that work:
+
+* :class:`AggregateState` instances support ``add`` (accumulate one row),
+  ``merge`` (combine two partials) and ``result`` (finalise), which is the
+  standard decomposition into partial/intermediate/final aggregation;
+* :class:`GroupByAggregate` is the node-local operator used both for the
+  partial phase and, at the initiator, for final grouping of join results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.expressions import Expression
+from repro.core.operators.base import Operator, Row
+from repro.exceptions import QueryError
+
+
+class AggregateState:
+    """Base class for decomposable aggregate states."""
+
+    name = "aggregate"
+
+    def add(self, value: Any) -> None:
+        """Accumulate a single input value."""
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateState") -> None:
+        """Fold another partial state of the same kind into this one."""
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        """Finalise the aggregate."""
+        raise NotImplementedError
+
+    def to_payload(self) -> Tuple:
+        """Serialise the partial state for shipping across the network."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "AggregateState":
+        """Rebuild a partial state from :meth:`to_payload` output."""
+        raise NotImplementedError
+
+
+class CountState(AggregateState):
+    """``count(*)`` / ``count(column)``."""
+
+    name = "count"
+
+    def __init__(self, count: int = 0):
+        self.count = count
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def merge(self, other: "CountState") -> None:
+        self.count += other.count
+
+    def result(self) -> int:
+        return self.count
+
+    def to_payload(self) -> Tuple:
+        return ("count", self.count)
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "CountState":
+        return cls(payload[1])
+
+
+class SumState(AggregateState):
+    """``sum(column)``."""
+
+    name = "sum"
+
+    def __init__(self, total: float = 0.0, seen: int = 0):
+        self.total = total
+        self.seen = seen
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.total += value
+            self.seen += 1
+
+    def merge(self, other: "SumState") -> None:
+        self.total += other.total
+        self.seen += other.seen
+
+    def result(self):
+        return self.total if self.seen else None
+
+    def to_payload(self) -> Tuple:
+        return ("sum", self.total, self.seen)
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "SumState":
+        return cls(payload[1], payload[2])
+
+
+class AvgState(AggregateState):
+    """``avg(column)`` — kept as (sum, count) so partials merge correctly."""
+
+    name = "avg"
+
+    def __init__(self, total: float = 0.0, count: int = 0):
+        self.total = total
+        self.count = count
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.total += value
+            self.count += 1
+
+    def merge(self, other: "AvgState") -> None:
+        self.total += other.total
+        self.count += other.count
+
+    def result(self):
+        return self.total / self.count if self.count else None
+
+    def to_payload(self) -> Tuple:
+        return ("avg", self.total, self.count)
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "AvgState":
+        return cls(payload[1], payload[2])
+
+
+class MinState(AggregateState):
+    """``min(column)``."""
+
+    name = "min"
+
+    def __init__(self, current: Any = None):
+        self.current = current
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.current is None or value < self.current:
+            self.current = value
+
+    def merge(self, other: "MinState") -> None:
+        self.add(other.current)
+
+    def result(self):
+        return self.current
+
+    def to_payload(self) -> Tuple:
+        return ("min", self.current)
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "MinState":
+        return cls(payload[1])
+
+
+class MaxState(AggregateState):
+    """``max(column)``."""
+
+    name = "max"
+
+    def __init__(self, current: Any = None):
+        self.current = current
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.current is None or value > self.current:
+            self.current = value
+
+    def merge(self, other: "MaxState") -> None:
+        self.add(other.current)
+
+    def result(self):
+        return self.current
+
+    def to_payload(self) -> Tuple:
+        return ("max", self.current)
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "MaxState":
+        return cls(payload[1])
+
+
+#: Registry of supported aggregate functions.
+AGGREGATE_FUNCTIONS = {
+    "count": CountState,
+    "sum": SumState,
+    "avg": AvgState,
+    "min": MinState,
+    "max": MaxState,
+}
+
+
+def make_aggregate(function: str) -> AggregateState:
+    """Instantiate a fresh aggregate state by function name."""
+    try:
+        return AGGREGATE_FUNCTIONS[function.lower()]()
+    except KeyError:
+        raise QueryError(
+            f"unsupported aggregate function {function!r}; "
+            f"expected one of {sorted(AGGREGATE_FUNCTIONS)}"
+        ) from None
+
+
+def state_from_payload(payload: Tuple) -> AggregateState:
+    """Rebuild any aggregate state from its wire payload."""
+    kind = payload[0]
+    try:
+        return AGGREGATE_FUNCTIONS[kind].from_payload(payload)
+    except KeyError:
+        raise QueryError(f"unknown aggregate payload kind {kind!r}") from None
+
+
+class GroupByAggregate(Operator):
+    """Hash group-by with decomposable aggregates.
+
+    Parameters
+    ----------
+    group_by:
+        Columns to group on (empty list → a single global group).
+    aggregates:
+        List of ``(function, column, alias)`` triples; ``column`` is ``None``
+        for ``count(*)``.
+    having:
+        Optional predicate over the output row (group columns + aliases).
+    """
+
+    def __init__(
+        self,
+        group_by: Sequence[str],
+        aggregates: Sequence[Tuple[str, Optional[str], str]],
+        having: Optional[Expression] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name or "GroupByAggregate")
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self.having = having
+        self._groups: Dict[Tuple, List[AggregateState]] = {}
+
+    def _group_key(self, row: Row) -> Tuple:
+        try:
+            return tuple(row[column] for column in self.group_by)
+        except KeyError as error:
+            raise QueryError(f"group-by column missing from row: {error}") from None
+
+    def _states_for(self, key: Tuple) -> List[AggregateState]:
+        if key not in self._groups:
+            self._groups[key] = [make_aggregate(function) for function, _column, _alias in self.aggregates]
+        return self._groups[key]
+
+    def process(self, row: Row) -> None:
+        states = self._states_for(self._group_key(row))
+        for state, (_function, column, _alias) in zip(states, self.aggregates):
+            value = 1 if column is None else row.get(column)
+            state.add(value)
+
+    def merge_partial(self, group_key: Tuple, payloads: Sequence[Tuple]) -> None:
+        """Fold partial states received from another node into a group."""
+        states = self._states_for(tuple(group_key))
+        for state, payload in zip(states, payloads):
+            state.merge(state_from_payload(payload))
+
+    def partial_payloads(self) -> Dict[Tuple, List[Tuple]]:
+        """Partial states per group, serialised for shipping."""
+        return {
+            key: [state.to_payload() for state in states]
+            for key, states in self._groups.items()
+        }
+
+    def result_rows(self) -> List[Row]:
+        """Finalised output rows (group columns + aggregate aliases)."""
+        rows = []
+        for key, states in self._groups.items():
+            row: Row = dict(zip(self.group_by, key))
+            for state, (_function, _column, alias) in zip(states, self.aggregates):
+                row[alias] = state.result()
+            if self.having is None or self.having.evaluate(row):
+                rows.append(row)
+        return rows
+
+    def on_finish(self) -> None:
+        for row in self.result_rows():
+            self.emit(row)
+
+    @property
+    def group_count(self) -> int:
+        """Number of distinct groups currently held."""
+        return len(self._groups)

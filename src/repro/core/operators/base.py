@@ -1,0 +1,125 @@
+"""Operator base class and intermediate queues for the push-based dataflow.
+
+An :class:`Operator` receives rows through :meth:`Operator.push`, does its
+work, and hands derived rows to :meth:`Operator.emit`, which appends them to
+the operator's :class:`OutputQueue` and immediately pushes them into any
+attached consumers.  The explicit queue is retained (rather than calling
+consumers directly) because network-boundary stages in the executor drain it
+in batches — exactly the role the paper assigns to the intermediate queue of
+"hiding much of the network latency when data must be moved to another
+site".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+Row = Dict[str, Any]
+
+
+class OutputQueue:
+    """FIFO buffer between a producer operator and its consumers."""
+
+    def __init__(self) -> None:
+        self._rows: deque = deque()
+        self.total_enqueued = 0
+
+    def append(self, row: Row) -> None:
+        """Add a row to the tail of the queue."""
+        self._rows.append(row)
+        self.total_enqueued += 1
+
+    def drain(self, limit: Optional[int] = None) -> List[Row]:
+        """Remove and return up to ``limit`` rows from the head (all if None)."""
+        if limit is None:
+            rows = list(self._rows)
+            self._rows.clear()
+            return rows
+        rows = []
+        while self._rows and len(rows) < limit:
+            rows.append(self._rows.popleft())
+        return rows
+
+    def peek_all(self) -> List[Row]:
+        """Non-destructive view of the queued rows."""
+        return list(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+
+class Operator:
+    """Base class for push-based operators."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or type(self).__name__
+        self.output = OutputQueue()
+        self.consumers: List["Operator"] = []
+        self.rows_in = 0
+        self.rows_out = 0
+        self._finished = False
+
+    # --------------------------------------------------------------- wiring
+
+    def add_consumer(self, consumer: "Operator") -> "Operator":
+        """Attach a downstream operator; returns ``consumer`` for chaining."""
+        self.consumers.append(consumer)
+        return consumer
+
+    # ----------------------------------------------------------------- flow
+
+    def push(self, row: Row) -> None:
+        """Feed one input row into the operator."""
+        self.rows_in += 1
+        self.process(row)
+
+    def push_many(self, rows: Iterable[Row]) -> None:
+        """Feed several rows."""
+        for row in rows:
+            self.push(row)
+
+    def process(self, row: Row) -> None:
+        """Transform one input row; default is the identity."""
+        self.emit(row)
+
+    def emit(self, row: Row) -> None:
+        """Produce one output row: queue it and push it into consumers."""
+        self.rows_out += 1
+        if self.consumers:
+            for consumer in self.consumers:
+                consumer.push(row)
+        else:
+            self.output.append(row)
+
+    def finish(self) -> None:
+        """Signal end of input; propagates downstream exactly once."""
+        if self._finished:
+            return
+        self._finished = True
+        self.on_finish()
+        for consumer in self.consumers:
+            consumer.finish()
+
+    def on_finish(self) -> None:
+        """Hook for operators that emit on end-of-input (e.g. aggregation)."""
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self._finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}(in={self.rows_in}, out={self.rows_out})"
+
+
+def chain(*operators: Operator) -> Operator:
+    """Wire operators left-to-right; returns the first (entry) operator."""
+    if not operators:
+        raise ValueError("chain() needs at least one operator")
+    for upstream, downstream in zip(operators, operators[1:]):
+        upstream.add_consumer(downstream)
+    return operators[0]

@@ -1,0 +1,94 @@
+"""Local pipelining symmetric hash join operator (Wilschut & Apers).
+
+This is the node-local building block of PIER's most general join strategy:
+two hash tables, one per input, are built and probed simultaneously as rows
+stream in from either side.  In the distributed strategy the "hash tables"
+are the local partitions of the rehash namespace and the probing happens via
+local ``get`` calls; this operator provides the same algorithm for
+single-node use (tests, examples, the initiator-side join of aggregation
+results) and documents the core invariant: every matching pair is emitted
+exactly once, when its *later* row arrives.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.expressions import Expression
+from repro.core.operators.base import Operator, Row
+from repro.core.tuples import merge_rows
+
+
+class SymmetricHashJoin(Operator):
+    """Pipelining symmetric hash equi-join.
+
+    Rows are fed through :meth:`push_left` / :meth:`push_right` (or through
+    :meth:`push` with rows pre-tagged by the ``side`` key).  Join keys are
+    extracted with the provided callables; an optional residual predicate is
+    applied to the merged row before it is emitted.
+    """
+
+    def __init__(
+        self,
+        left_key: Callable[[Row], Any],
+        right_key: Callable[[Row], Any],
+        residual: Optional[Expression] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name or "SymmetricHashJoin")
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+        self._left_table: Dict[Any, List[Row]] = defaultdict(list)
+        self._right_table: Dict[Any, List[Row]] = defaultdict(list)
+
+    # ------------------------------------------------------------------ feed
+
+    def push_left(self, row: Row) -> None:
+        """Feed one row from the left (build + probe against right)."""
+        self.rows_in += 1
+        key = self.left_key(row)
+        for match in self._right_table.get(key, ()):
+            self._emit_pair(row, match)
+        self._left_table[key].append(row)
+
+    def push_right(self, row: Row) -> None:
+        """Feed one row from the right (build + probe against left)."""
+        self.rows_in += 1
+        key = self.right_key(row)
+        for match in self._left_table.get(key, ()):
+            self._emit_pair(match, row)
+        self._right_table[key].append(row)
+
+    def process(self, row: Row) -> None:
+        """Push a pre-tagged row: ``row["side"]`` must be ``"left"``/``"right"``."""
+        side = row.get("side")
+        payload = row.get("row", row)
+        if side == "left":
+            self.rows_in -= 1  # push() already counted it
+            self.push_left(payload)
+        elif side == "right":
+            self.rows_in -= 1
+            self.push_right(payload)
+        else:
+            raise ValueError("untagged row pushed into SymmetricHashJoin")
+
+    # ----------------------------------------------------------------- emit
+
+    def _emit_pair(self, left: Row, right: Row) -> None:
+        merged = merge_rows(left, right)
+        if self.residual is None or self.residual.evaluate(merged):
+            self.emit(merged)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def left_rows_buffered(self) -> int:
+        """Rows currently held in the left hash table."""
+        return sum(len(rows) for rows in self._left_table.values())
+
+    @property
+    def right_rows_buffered(self) -> int:
+        """Rows currently held in the right hash table."""
+        return sum(len(rows) for rows in self._right_table.values())

@@ -1,0 +1,35 @@
+"""Projection operators: column pruning and alias qualification."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.operators.base import Operator, Row
+from repro.core.tuples import project_row, qualify
+
+
+class Projection(Operator):
+    """Keep only the listed columns of each row.
+
+    The distributed join strategies rely on this to strip tuples down to
+    "only the relevant columns remaining" before rehashing (paper §4.1), and
+    the semi-join rewrite projects all the way down to (resourceID, join key).
+    """
+
+    def __init__(self, columns: Sequence[str], name: Optional[str] = None):
+        super().__init__(name or f"Projection({list(columns)})")
+        self.columns = list(columns)
+
+    def process(self, row: Row) -> None:
+        self.emit(project_row(row, self.columns))
+
+
+class Qualify(Operator):
+    """Prefix every column of each row with a table alias (``num2`` → ``R.num2``)."""
+
+    def __init__(self, alias: str, name: Optional[str] = None):
+        super().__init__(name or f"Qualify({alias})")
+        self.alias = alias
+
+    def process(self, row: Row) -> None:
+        self.emit(qualify(self.alias, row))

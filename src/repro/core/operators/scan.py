@@ -1,0 +1,49 @@
+"""Scan operators: feed rows into a local pipeline.
+
+``lscan`` in PIER is a Provider-level operation — each node scans the items
+of a namespace that happen to be stored locally.  :class:`ProviderScan` wraps
+that call as a dataflow source; :class:`ListScan` feeds an in-memory list and
+is what tests and the single-node examples use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.operators.base import Operator, Row
+
+
+class ListScan(Operator):
+    """Source operator over an in-memory collection of rows."""
+
+    def __init__(self, rows: Iterable[Row], name: Optional[str] = None):
+        super().__init__(name or "ListScan")
+        self._rows = list(rows)
+
+    def run(self) -> None:
+        """Push every row downstream, then signal end of input."""
+        for row in self._rows:
+            self.rows_in += 1
+            self.emit(dict(row))
+        self.finish()
+
+
+class ProviderScan(Operator):
+    """Source operator over the local partition of a DHT namespace.
+
+    Each stored item's value is expected to be a row dict (that is how the
+    query processor publishes base tuples and rehashed fragments).
+    """
+
+    def __init__(self, provider, namespace: str, name: Optional[str] = None):
+        super().__init__(name or f"ProviderScan({namespace})")
+        self.provider = provider
+        self.namespace = namespace
+
+    def run(self) -> None:
+        """Scan the local partition once, pushing each live item's value."""
+        for item in self.provider.lscan(self.namespace):
+            self.rows_in += 1
+            value = item.value
+            self.emit(dict(value) if isinstance(value, dict) else {"value": value})
+        self.finish()

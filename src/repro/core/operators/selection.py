@@ -1,0 +1,34 @@
+"""Selection operator: filter rows by a predicate expression."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.expressions import Expression
+from repro.core.operators.base import Operator, Row
+
+
+class Selection(Operator):
+    """Emit only rows for which the predicate evaluates to true.
+
+    A ``None`` predicate passes everything through, which lets planners build
+    uniform pipelines without special-casing "no WHERE clause".
+    """
+
+    def __init__(self, predicate: Optional[Expression], name: Optional[str] = None):
+        super().__init__(name or "Selection")
+        self.predicate = predicate
+        self.rows_filtered = 0
+
+    def process(self, row: Row) -> None:
+        if self.predicate is None or self.predicate.evaluate(row):
+            self.emit(row)
+        else:
+            self.rows_filtered += 1
+
+    @property
+    def selectivity(self) -> float:
+        """Observed fraction of input rows that passed the predicate."""
+        if self.rows_in == 0:
+            return 1.0
+        return (self.rows_in - self.rows_filtered) / self.rows_in

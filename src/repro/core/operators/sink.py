@@ -1,0 +1,46 @@
+"""Sink operators: collect or duplicate pipeline output."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.operators.base import Operator, Row
+
+
+class Collector(Operator):
+    """Terminal operator that accumulates every row it receives.
+
+    The per-node halves of the distributed strategies end in a Collector;
+    the executor then drains :attr:`rows` and ships them (rehash, fetch,
+    result delivery) over the network.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name or "Collector")
+        self.rows: List[Row] = []
+
+    def process(self, row: Row) -> None:
+        self.rows.append(row)
+        self.rows_out += 1
+
+    def drain(self) -> List[Row]:
+        """Return the collected rows and clear the buffer."""
+        rows = self.rows
+        self.rows = []
+        return rows
+
+
+class Tee(Operator):
+    """Pass rows through while invoking a side-effect callback on each.
+
+    Useful for instrumentation (counting rows crossing a plan edge) without
+    disturbing the pipeline.
+    """
+
+    def __init__(self, callback: Callable[[Row], None], name: Optional[str] = None):
+        super().__init__(name or "Tee")
+        self.callback = callback
+
+    def process(self, row: Row) -> None:
+        self.callback(row)
+        self.emit(row)

@@ -1,0 +1,143 @@
+"""Local plan construction: from a QuerySpec to per-node operator pipelines.
+
+The distributed choreography (who rehashes what, where probes happen) lives
+in :mod:`repro.core.executor`; this module builds the node-local "boxes and
+arrows" that the executor feeds: scan → select → project → collect pipelines
+for the source-side work, and group-by pipelines for the aggregation phases.
+Keeping plan construction separate lets tests exercise the pipelines without
+a network, and lets the executor stay focused on messaging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.operators.aggregate import GroupByAggregate
+from repro.core.operators.base import Operator, chain
+from repro.core.operators.projection import Projection, Qualify
+from repro.core.operators.scan import ListScan, ProviderScan
+from repro.core.operators.selection import Selection
+from repro.core.operators.sink import Collector
+from repro.core.query import QuerySpec
+
+
+def build_source_pipeline(provider, query: QuerySpec, alias: str,
+                          project_to: Optional[Sequence[str]] = None
+                          ) -> Tuple[ProviderScan, Collector]:
+    """Scan → select → (project) → collect pipeline for one table on one node.
+
+    ``project_to`` defaults to the columns the query needs from this side
+    after the join (join key, output columns, residual-predicate columns).
+    Returns the source operator (call ``run()`` on it) and the terminal
+    collector whose rows the executor then ships.
+    """
+    table = query.table(alias)
+    scan = ProviderScan(provider, table.namespace, name=f"Scan({alias})")
+    select = Selection(query.local_predicates.get(alias), name=f"Select({alias})")
+    collector = Collector(name=f"Collect({alias})")
+    columns = list(project_to) if project_to is not None else query.columns_needed_from(alias)
+    operators: List[Operator] = [scan, select]
+    if columns:
+        operators.append(Projection(columns, name=f"Project({alias})"))
+    operators.append(collector)
+    chain(*operators)
+    return scan, collector
+
+
+def build_local_filter_pipeline(rows, predicate, columns=None) -> List[dict]:
+    """Run an in-memory scan → select → (project) pipeline and return its rows.
+
+    Convenience used by tests and by executor phases that filter rows they
+    already hold in memory (e.g. applying the opposite side's Bloom filter).
+    """
+    scan = ListScan(rows)
+    select = Selection(predicate)
+    collector = Collector()
+    operators: List[Operator] = [scan, select]
+    if columns:
+        operators.append(Projection(list(columns)))
+    operators.append(collector)
+    chain(*operators)
+    scan.run()
+    return collector.rows
+
+
+def build_partial_aggregation_pipeline(provider, query: QuerySpec, alias: str
+                                       ) -> Tuple[ProviderScan, GroupByAggregate]:
+    """Scan → select → qualify → partial group-by pipeline for one node.
+
+    The resulting :class:`GroupByAggregate` holds this node's partial states;
+    the executor ships them to the group owners (flat hash grouping) or up
+    the aggregation tree (hierarchical extension).
+    """
+    table = query.table(alias)
+    scan = ProviderScan(provider, table.namespace, name=f"Scan({alias})")
+    select = Selection(query.local_predicates.get(alias), name=f"Select({alias})")
+    qualify = Qualify(alias)
+    aggregate = GroupByAggregate(
+        group_by=query.group_by,
+        aggregates=[(a.function, a.column, a.alias) for a in query.aggregates],
+        having=None,  # HAVING is applied only after partials are merged.
+        name=f"PartialAgg({alias})",
+    )
+    chain(scan, select, qualify, aggregate)
+    return scan, aggregate
+
+
+def build_final_aggregation(query: QuerySpec) -> GroupByAggregate:
+    """Group-by operator used to merge partial states (at group owners or the
+    initiator).
+
+    HAVING and derived columns are *not* applied here — they are applied by
+    :func:`finalize_aggregation_rows`, because derived columns (``count(*) *
+    sum(w)``) must be computed before HAVING can be evaluated.
+    """
+    return GroupByAggregate(
+        group_by=query.group_by,
+        aggregates=[(a.function, a.column, a.alias) for a in query.aggregates],
+        having=None,
+        name="FinalAgg",
+    )
+
+
+def finalize_aggregation_rows(query: QuerySpec, final: GroupByAggregate) -> List[dict]:
+    """Produce the query's final aggregate rows from a merged group-by operator.
+
+    Adds derived (post-aggregation) columns, applies HAVING, and returns rows
+    containing the grouping columns, aggregate aliases and derived aliases.
+    """
+    rows = []
+    for row in final.result_rows():
+        for alias, expression in query.derived_columns.items():
+            row[alias] = expression.evaluate(row)
+        if query.having is not None and not query.having.evaluate(row):
+            continue
+        rows.append(row)
+    return rows
+
+
+def describe_plan(query: QuerySpec) -> List[str]:
+    """Human-readable summary of the distributed plan (used by examples/docs)."""
+    lines = [f"Query {query.query_id} ({query.strategy.value})"]
+    for table in query.tables:
+        predicate = query.local_predicates.get(table.alias)
+        lines.append(
+            f"  scan {table.relation.name} AS {table.alias}"
+            + (f" WHERE {predicate!r}" if predicate is not None else "")
+        )
+    if query.join is not None:
+        lines.append(
+            f"  join on {query.join.left_alias}.{query.join.left_column} = "
+            f"{query.join.right_alias}.{query.join.right_column}"
+        )
+    if query.post_join_predicate is not None:
+        lines.append(f"  residual {query.post_join_predicate!r}")
+    if query.group_by or query.aggregates:
+        aggregates = ", ".join(
+            f"{a.function}({a.column or '*'}) AS {a.alias}" for a in query.aggregates
+        )
+        lines.append(f"  group by {query.group_by} computing [{aggregates}]")
+    if query.having is not None:
+        lines.append(f"  having {query.having!r}")
+    lines.append(f"  output {query.output_columns or '[aggregate rows]'}")
+    return lines

@@ -1,0 +1,30 @@
+"""Declarative SQL front end (a "future work" item of the paper, implemented).
+
+The paper's prototype ran "hand-wired" query plans; parsing and optimisation
+were explicitly deferred.  This package closes that gap with a small SQL
+dialect sufficient for every query the paper shows:
+
+* two-table equi-joins with conjunctive selection predicates and scalar UDFs
+  (the benchmark workload of Section 5.1);
+* single-table ``GROUP BY`` aggregation with ``HAVING`` (the intrusion
+  summary of Section 2.1);
+* join + aggregation with arithmetic over aggregates (the weighted
+  reputation query of Section 2.1).
+
+``parse_sql`` produces an AST; :class:`SQLPlanner` resolves table names
+against a :class:`repro.core.catalog.Catalog` and emits a
+:class:`repro.core.query.QuerySpec` ready to submit to an executor.
+"""
+
+from repro.core.sql.lexer import SQLLexer, Token
+from repro.core.sql.parser import AggregateCall, SelectStatement, parse_sql
+from repro.core.sql.planner import SQLPlanner
+
+__all__ = [
+    "SQLLexer",
+    "Token",
+    "parse_sql",
+    "SelectStatement",
+    "AggregateCall",
+    "SQLPlanner",
+]

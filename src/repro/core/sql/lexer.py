@@ -1,0 +1,95 @@
+"""Tokeniser for the SQL front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import SQLSyntaxError
+
+#: Keywords recognised by the parser (case-insensitive).
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS",
+    "AND", "OR", "NOT", "ORDER", "LIMIT",
+}
+
+#: Multi-character operators, checked before single-character ones.
+TWO_CHAR_OPERATORS = ("<=", ">=", "!=", "<>", "==")
+SINGLE_CHAR_OPERATORS = "=<>+-*/(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "keyword" | "identifier" | "number" | "string" | "operator" | "eof"
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str = None) -> bool:
+        """Whether the token has the given kind (and value, if supplied)."""
+        if self.kind != kind:
+            return False
+        return value is None or self.value.upper() == value.upper()
+
+
+class SQLLexer:
+    """Converts query text into a list of tokens."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def tokenize(self) -> List[Token]:
+        """Tokenise the whole input, ending with an ``eof`` token."""
+        tokens: List[Token] = []
+        text = self.text
+        position = 0
+        length = len(text)
+        while position < length:
+            character = text[position]
+            if character.isspace():
+                position += 1
+                continue
+            if character == "'" or character == '"':
+                end = text.find(character, position + 1)
+                if end < 0:
+                    raise SQLSyntaxError(f"unterminated string literal at {position}")
+                tokens.append(Token("string", text[position + 1:end], position))
+                position = end + 1
+                continue
+            if character.isdigit() or (
+                character == "." and position + 1 < length and text[position + 1].isdigit()
+            ):
+                end = position
+                seen_dot = False
+                while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                    if text[end] == ".":
+                        seen_dot = True
+                    end += 1
+                tokens.append(Token("number", text[position:end], position))
+                position = end
+                continue
+            if character.isalpha() or character == "_":
+                end = position
+                while end < length and (text[end].isalnum() or text[end] == "_"):
+                    end += 1
+                word = text[position:end]
+                kind = "keyword" if word.upper() in KEYWORDS else "identifier"
+                tokens.append(Token(kind, word, position))
+                position = end
+                continue
+            two = text[position:position + 2]
+            if two in TWO_CHAR_OPERATORS:
+                tokens.append(Token("operator", two, position))
+                position += 2
+                continue
+            if character in SINGLE_CHAR_OPERATORS or character == ";":
+                if character == ";":
+                    position += 1
+                    continue
+                tokens.append(Token("operator", character, position))
+                position += 1
+                continue
+            raise SQLSyntaxError(f"unexpected character {character!r} at position {position}")
+        tokens.append(Token("eof", "", length))
+        return tokens

@@ -1,0 +1,192 @@
+"""Relational data model: columns, schemas and relation definitions.
+
+PIER's data "lives in its natural habitat" — wrappers publish tuples into the
+DHT as soft state — so the data model here is deliberately lightweight: a
+tuple is a plain ``dict`` mapping column names to values, a :class:`Schema`
+declares and validates the expected columns, and a :class:`RelationDef` ties
+a schema to the DHT namespace its tuples are published under, its primary
+key, and the attribute used as the DHT resourceID (by default the primary
+key, exactly as the paper's query processor does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+#: Python types accepted for each declared column type.
+_TYPE_MAP = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bytes": (bytes, bytearray),
+    "any": (object,),
+}
+
+Row = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute of a relation."""
+
+    name: str
+    type: str = "any"
+    #: Approximate wire size of a value of this column, in bytes.
+    size_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column names must be non-empty")
+        if self.type not in _TYPE_MAP:
+            raise SchemaError(
+                f"unknown column type {self.type!r}; expected one of {sorted(_TYPE_MAP)}"
+            )
+
+    def accepts(self, value: Any) -> bool:
+        """Whether ``value`` is a legal value for this column."""
+        if value is None:
+            return True
+        expected = _TYPE_MAP[self.type]
+        if self.type == "float":
+            return isinstance(value, expected) and not isinstance(value, bool)
+        if self.type == "int":
+            return isinstance(value, int) and not isinstance(value, bool)
+        return isinstance(value, expected)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns."""
+
+    columns: Tuple[Column, ...]
+
+    def __init__(self, columns: Sequence[Column]):
+        object.__setattr__(self, "columns", tuple(columns))
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+
+    @property
+    def column_names(self) -> List[str]:
+        """Names of the columns, in declaration order."""
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"schema has no column named {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Whether the schema declares a column named ``name``."""
+        return any(column.name == name for column in self.columns)
+
+    def validate(self, row: Row) -> None:
+        """Raise :class:`SchemaError` unless ``row`` conforms to this schema."""
+        if not isinstance(row, dict):
+            raise SchemaError(f"rows must be dicts, got {type(row)!r}")
+        for column in self.columns:
+            if column.name not in row:
+                raise SchemaError(f"row is missing column {column.name!r}")
+            if not column.accepts(row[column.name]):
+                raise SchemaError(
+                    f"column {column.name!r} rejects value {row[column.name]!r} "
+                    f"(declared type {column.type})"
+                )
+        extra = set(row) - set(self.column_names)
+        if extra:
+            raise SchemaError(f"row has undeclared columns {sorted(extra)}")
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing only ``names`` (in the given order)."""
+        return Schema([self.column(name) for name in names])
+
+    def row_bytes(self) -> int:
+        """Approximate wire size of one tuple of this schema."""
+        return sum(column.size_bytes for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+
+@dataclass
+class RelationDef:
+    """Binding of a relation name to its schema and DHT placement.
+
+    Attributes
+    ----------
+    name:
+        Relation (table) name as used in queries.
+    schema:
+        Column layout of the relation's tuples.
+    namespace:
+        DHT namespace base tuples are published under (defaults to the name).
+    primary_key:
+        Column holding the primary key.
+    resource_id_column:
+        Column whose value becomes the DHT resourceID (defaults to the
+        primary key, matching the paper's default).
+    tuple_bytes:
+        Wire size used when shipping one full tuple; defaults to the schema's
+        estimate.
+    """
+
+    name: str
+    schema: Schema
+    namespace: Optional[str] = None
+    primary_key: Optional[str] = None
+    resource_id_column: Optional[str] = None
+    tuple_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.namespace is None:
+            self.namespace = self.name
+        if self.primary_key is None:
+            self.primary_key = self.schema.column_names[0]
+        if not self.schema.has_column(self.primary_key):
+            raise SchemaError(
+                f"primary key {self.primary_key!r} not in schema of {self.name!r}"
+            )
+        if self.resource_id_column is None:
+            self.resource_id_column = self.primary_key
+        if not self.schema.has_column(self.resource_id_column):
+            raise SchemaError(
+                f"resourceID column {self.resource_id_column!r} not in schema of {self.name!r}"
+            )
+        if self.tuple_bytes is None:
+            self.tuple_bytes = self.schema.row_bytes()
+
+    def resource_id(self, row: Row) -> Any:
+        """DHT resourceID of a tuple of this relation."""
+        return row[self.resource_id_column]
+
+    def validate(self, row: Row) -> None:
+        """Validate a tuple against this relation's schema."""
+        self.schema.validate(row)
+
+
+def qualify(alias: str, row: Row) -> Row:
+    """Prefix every column of ``row`` with ``alias.`` (for post-join rows)."""
+    return {f"{alias}.{name}": value for name, value in row.items()}
+
+
+def project_row(row: Row, names: Sequence[str]) -> Row:
+    """Keep only the listed columns of ``row``."""
+    missing = [name for name in names if name not in row]
+    if missing:
+        raise SchemaError(f"projection references missing columns {missing}")
+    return {name: row[name] for name in names}
+
+
+def merge_rows(left: Row, right: Row) -> Row:
+    """Concatenate two (already qualified) rows."""
+    merged = dict(left)
+    merged.update(right)
+    return merged

@@ -1,0 +1,92 @@
+"""Routing layer API (paper Table 1).
+
+The overlay routing layer maps a key to the IP address of the node currently
+responsible for it, using only local neighbour state and multi-hop
+forwarding.  Its public surface is deliberately tiny:
+
+=====================  =========================================================
+``lookup(key) → addr`` asynchronous; invokes a callback with the owner address
+``join(landmark)``     attach to (or create) an overlay network
+``leave()``            gracefully hand off responsibility and depart
+``locationMapChange``  callback fired when the locally-owned key range changes
+=====================  =========================================================
+
+Both :class:`repro.dht.can.CanRouting` and :class:`repro.dht.chord.ChordRouting`
+implement this interface, which is what lets PIER swap DHTs with "fairly
+minimal integration effort" (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional
+
+from repro.net.node import Node
+
+#: Callback type for lookups: receives the owner's node address.
+LookupCallback = Callable[[int], None]
+#: Callback type for location-map changes (no arguments; consult the layer).
+LocationMapCallback = Callable[[], None]
+
+
+class RoutingLayer(ABC):
+    """Abstract overlay routing layer bound to one simulated node."""
+
+    #: Name used as a service key on the node and as a protocol prefix.
+    SERVICE_NAME = "dht.routing"
+
+    def __init__(self, node: Node):
+        self.node = node
+        self._location_map_listeners: List[LocationMapCallback] = []
+        node.services[self.SERVICE_NAME] = self
+
+    # ------------------------------------------------------------- interface
+
+    @abstractmethod
+    def lookup(self, key: int, callback: LookupCallback,
+               payload_bytes: int = 40) -> None:
+        """Resolve ``key`` to the responsible node's address, asynchronously.
+
+        If the key maps to the local node the callback fires synchronously
+        (paper footnote 3); otherwise the request is routed hop by hop and
+        the owner replies directly to this node.
+        """
+
+    @abstractmethod
+    def owns(self, key: int) -> bool:
+        """Whether this node is currently responsible for ``key``."""
+
+    @abstractmethod
+    def neighbors(self) -> List[int]:
+        """Addresses of overlay neighbours (used for multicast flooding)."""
+
+    @abstractmethod
+    def join(self, landmark: Optional[int]) -> None:
+        """Join the overlay via ``landmark`` (``None`` starts a new network)."""
+
+    @abstractmethod
+    def leave(self) -> None:
+        """Gracefully leave, handing owned keys to a neighbour."""
+
+    # ------------------------------------------------------------- callbacks
+
+    def add_location_map_listener(self, callback: LocationMapCallback) -> None:
+        """Register a ``locationMapChange`` listener (paper Table 1)."""
+        self._location_map_listeners.append(callback)
+
+    def notify_location_map_change(self) -> None:
+        """Fire all registered ``locationMapChange`` listeners."""
+        for callback in list(self._location_map_listeners):
+            callback()
+
+    # ------------------------------------------------------------ utilities
+
+    @property
+    def address(self) -> int:
+        """Address of the node this routing layer runs on."""
+        return self.node.address
+
+    @classmethod
+    def of(cls, node: Node) -> "RoutingLayer":
+        """Fetch the routing layer service installed on ``node``."""
+        return node.services[cls.SERVICE_NAME]

@@ -1,0 +1,106 @@
+"""Content-based multicast over the overlay (paper Section 3.2.3, ref [18]).
+
+PIER distributes query instructions to every node serving a namespace with a
+``multicast`` primitive.  The paper's companion tech report compares several
+implementation options; what matters to the evaluation is only that the
+multicast reaches every node in a few seconds (about 3 s at 1024 nodes with
+100 ms hops) and that its cost is independent of the query itself.
+
+We implement the classic overlay flood: the originator delivers the payload
+locally and forwards it to all of its overlay neighbours; every node, on
+first receipt of a given multicast id, delivers the payload to the
+application and forwards it to its own neighbours (excluding the sender).
+Duplicate receipts are suppressed.  Over CAN's neighbour graph this reaches
+all nodes within the overlay diameter (``O(n^{1/d})`` hops); over Chord's
+finger graph the depth is ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.dht.api import RoutingLayer
+from repro.net.node import Node
+
+#: Handler signature: (namespace, resource_id, item, origin_address).
+MulticastHandler = Callable[[str, Any, Any, int], None]
+
+_multicast_sequence = itertools.count(1)
+
+
+class MulticastService:
+    """Per-node multicast service using neighbour flooding with dedup."""
+
+    PROTOCOL = "mc.flood"
+
+    def __init__(self, node: Node, routing: RoutingLayer):
+        self.node = node
+        self.routing = routing
+        self._seen: set[Tuple[int, int]] = set()
+        self._handlers: Dict[str, List[MulticastHandler]] = {}
+        self._wildcard_handlers: List[MulticastHandler] = []
+        node.register_handler(self.PROTOCOL, self._on_flood)
+        node.services["dht.multicast"] = self
+
+    # ----------------------------------------------------------- subscription
+
+    def subscribe(self, namespace: str, handler: MulticastHandler) -> None:
+        """Deliver multicasts for ``namespace`` to ``handler`` on this node."""
+        self._handlers.setdefault(namespace, []).append(handler)
+
+    def subscribe_all(self, handler: MulticastHandler) -> None:
+        """Deliver every multicast (any namespace) to ``handler``."""
+        self._wildcard_handlers.append(handler)
+
+    # ----------------------------------------------------------------- send
+
+    def multicast(self, namespace: str, resource_id: Any, item: Any,
+                  payload_bytes: int = 200) -> int:
+        """Originate a multicast; returns the multicast id."""
+        multicast_id = (self.node.address, next(_multicast_sequence))
+        envelope = {
+            "id": multicast_id,
+            "namespace": namespace,
+            "resource_id": resource_id,
+            "item": item,
+            "origin": self.node.address,
+        }
+        self._seen.add(multicast_id)
+        self._deliver(envelope)
+        self._flood(envelope, payload_bytes, exclude=None)
+        return multicast_id[1]
+
+    def _flood(self, envelope: dict, payload_bytes: int, exclude) -> None:
+        for neighbor in self.routing.neighbors():
+            if neighbor == exclude or neighbor == self.node.address:
+                continue
+            self.node.send(
+                neighbor,
+                self.PROTOCOL,
+                payload={"envelope": envelope, "payload_bytes": payload_bytes},
+                payload_bytes=payload_bytes,
+            )
+
+    def _on_flood(self, node: Node, message) -> None:
+        envelope = message.payload["envelope"]
+        payload_bytes = message.payload["payload_bytes"]
+        multicast_id = envelope["id"]
+        if multicast_id in self._seen:
+            return
+        self._seen.add(multicast_id)
+        self._deliver(envelope)
+        self._flood(envelope, payload_bytes, exclude=message.src)
+
+    # --------------------------------------------------------------- deliver
+
+    def _deliver(self, envelope: dict) -> None:
+        namespace = envelope["namespace"]
+        handlers = list(self._handlers.get(namespace, ())) + list(self._wildcard_handlers)
+        for handler in handlers:
+            handler(namespace, envelope["resource_id"], envelope["item"], envelope["origin"])
+
+    @classmethod
+    def of(cls, node: Node) -> "MulticastService":
+        """Fetch the multicast service installed on ``node``."""
+        return node.services["dht.multicast"]

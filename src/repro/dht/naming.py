@@ -1,0 +1,62 @@
+"""Key derivation for the DHT naming scheme.
+
+Every DHT object is named by a ``(namespace, resourceID, instanceID)``
+triple (paper Section 3.2.3).  The namespace and resourceID together
+determine the DHT *key* — and hence the responsible node — via a hash
+function; the instanceID only disambiguates items that share a key.
+
+Keys live in a flat ``KEY_BITS``-bit integer space.  Each routing layer maps
+that integer into its own identifier space: Chord takes it modulo the ring
+size, CAN re-hashes it with per-dimension salts to obtain coordinates (the
+paper's "d separate hash functions, one for each CAN dimension").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+#: Width of the flat key space shared by all routing layers.
+KEY_BITS = 128
+#: Size of the key space (exclusive upper bound of keys).
+KEY_SPACE = 1 << KEY_BITS
+
+
+def _digest(data: bytes) -> int:
+    """Stable hash of ``data`` truncated to the key space."""
+    return int.from_bytes(hashlib.sha1(data).digest()[: KEY_BITS // 8], "big")
+
+
+def hash_key(namespace: str, resource_id) -> int:
+    """Map a ``(namespace, resourceID)`` pair to a DHT key.
+
+    ``resource_id`` may be any value with a stable ``repr``; the query
+    processor uses primary-key values and join-key values here.
+    """
+    data = f"{namespace}\x00{resource_id!r}".encode("utf-8", errors="replace")
+    return _digest(data)
+
+
+def hash_namespace(namespace: str) -> int:
+    """Key for namespace-level rendezvous points (e.g. Bloom collectors)."""
+    return _digest(f"ns\x00{namespace}".encode("utf-8"))
+
+
+def key_to_unit_coordinates(key: int, dimensions: int) -> Tuple[float, ...]:
+    """Spread a flat key over ``dimensions`` coordinates in ``[0, 1)``.
+
+    Used by CAN: each dimension gets an independent salted hash of the key,
+    mirroring the paper's per-dimension hash functions.
+    """
+    if dimensions <= 0:
+        raise ValueError("dimensions must be positive")
+    coords = []
+    for dim in range(dimensions):
+        salted = _digest(f"dim{dim}\x00{key:x}".encode("ascii"))
+        coords.append(salted / KEY_SPACE)
+    return tuple(coords)
+
+
+def node_identifier(address: int) -> int:
+    """Deterministic DHT identifier for a node address (used by Chord)."""
+    return _digest(f"node\x00{address}".encode("ascii"))

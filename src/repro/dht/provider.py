@@ -1,0 +1,318 @@
+"""Provider: the application-facing DHT interface (paper Table 3).
+
+The Provider ties the routing layer and storage manager together and exposes
+the calls PIER's query processor is written against:
+
+=============================================  ===================================
+``get(namespace, resourceID) → item``          key-based read (may return many)
+``put(namespace, resourceID, instanceID, ...)`` soft-state insert with a lifetime
+``renew(...) → bool``                          refresh an item's lifetime
+``multicast(namespace, resourceID, item)``     deliver to all nodes of a namespace
+``lscan(namespace) → iterator``                scan items stored *locally*
+``newData(namespace) → item``                  callback on local arrival of new data
+=============================================  ===================================
+
+Every ``put``/``get`` follows the paper's two-step pattern: an overlay
+``lookup`` resolves the responsible node, then the item or request is sent to
+it *directly* (single IP hop), because "the bandwidth savings of not having a
+large message hop along the overlay network" outweigh the small chance of the
+mapping changing in between.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.dht.api import RoutingLayer
+from repro.dht.multicast import MulticastHandler, MulticastService
+from repro.dht.naming import hash_key
+from repro.dht.softstate import RenewalAgent
+from repro.dht.storage import StorageManager, StoredItem
+from repro.net.node import Node
+
+#: Default soft-state lifetime (seconds) when the caller does not specify one.
+DEFAULT_LIFETIME_S = 300.0
+#: Default wire size of an item when the caller does not specify one.
+DEFAULT_ITEM_BYTES = 100
+#: How often each node sweeps expired soft state out of its storage manager.
+DEFAULT_SWEEP_PERIOD_S = 5.0
+
+#: Callback type for ``get``: receives a list of :class:`DHTItem`.
+GetCallback = Callable[[List["DHTItem"]], None]
+#: Callback type for ``newData``: receives the newly stored :class:`DHTItem`.
+NewDataCallback = Callable[["DHTItem"], None]
+
+
+@dataclass(frozen=True)
+class DHTItem:
+    """Read-only view of a stored item returned by ``get``/``lscan``."""
+
+    namespace: str
+    resource_id: Any
+    instance_id: int
+    value: Any
+    publisher: Optional[int] = None
+    size_bytes: int = DEFAULT_ITEM_BYTES
+
+
+class Provider:
+    """Per-node Provider instance."""
+
+    SERVICE_NAME = "dht.provider"
+    PROTOCOL_PUT = "prov.put"
+    PROTOCOL_GET = "prov.get"
+    PROTOCOL_GET_REPLY = "prov.get_reply"
+
+    def __init__(self, node: Node, routing: RoutingLayer,
+                 sweep_period_s: float = DEFAULT_SWEEP_PERIOD_S,
+                 instance_seed: int = 0):
+        self.node = node
+        self.routing = routing
+        self.storage = StorageManager()
+        self.multicast_service = MulticastService(node, routing)
+        self._new_data_callbacks: Dict[str, List[NewDataCallback]] = {}
+        self._pending_gets: Dict[int, GetCallback] = {}
+        self._get_ids = itertools.count(1)
+        self._instance_ids = itertools.count(instance_seed * 1_000_003 + 1)
+        node.services[self.SERVICE_NAME] = self
+
+        node.register_handler(self.PROTOCOL_PUT, self._on_put)
+        node.register_handler(self.PROTOCOL_GET, self._on_get)
+        node.register_handler(self.PROTOCOL_GET_REPLY, self._on_get_reply)
+
+        # Item migration hooks used by the routing layer on join/leave.
+        routing.extract_items = self.storage.extract
+        routing.install_items = self.storage.install
+
+        if sweep_period_s > 0:
+            node.schedule_periodic(sweep_period_s, self._sweep)
+
+    # --------------------------------------------------------------- helpers
+
+    @classmethod
+    def of(cls, node: Node) -> "Provider":
+        """Fetch the Provider installed on ``node``."""
+        return node.services[cls.SERVICE_NAME]
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.node.now
+
+    def next_instance_id(self) -> int:
+        """A fresh instanceID unique to this node."""
+        return next(self._instance_ids)
+
+    def _sweep(self) -> None:
+        self.storage.expire_items(self.now)
+
+    # ------------------------------------------------------------------- put
+
+    def put(self, namespace: str, resource_id: Any, instance_id: Optional[int],
+            value: Any, lifetime: float = DEFAULT_LIFETIME_S,
+            item_bytes: int = DEFAULT_ITEM_BYTES) -> int:
+        """Publish an item into the DHT (paper Table 3 ``put``).
+
+        Returns the instanceID used (freshly generated when ``None`` is
+        passed, matching the paper's "randomly assigned by the user
+        application").
+        """
+        if instance_id is None:
+            instance_id = self.next_instance_id()
+        key = hash_key(namespace, resource_id)
+        request = {
+            "namespace": namespace,
+            "resource_id": resource_id,
+            "instance_id": instance_id,
+            "value": value,
+            "lifetime": lifetime,
+            "publisher": self.node.address,
+            "size_bytes": item_bytes,
+            "key": key,
+        }
+
+        def _deliver(owner: int) -> None:
+            if owner == self.node.address:
+                self._store_request(request)
+            else:
+                self.node.send(owner, self.PROTOCOL_PUT, payload=request,
+                               payload_bytes=item_bytes)
+
+        self.routing.lookup(key, _deliver)
+        return instance_id
+
+    def put_direct(self, target: int, namespace: str, resource_id: Any,
+                   instance_id: Optional[int], value: Any,
+                   lifetime: float = DEFAULT_LIFETIME_S,
+                   item_bytes: int = DEFAULT_ITEM_BYTES,
+                   charge_lookup: bool = True) -> int:
+        """Publish an item onto a *designated* node instead of the key's owner.
+
+        Used for queries that confine their temporary state to a fixed set of
+        computation nodes (the paper's Figure 3 experiments with 1/2/8/16
+        computation nodes).  When ``charge_lookup`` is true an overlay lookup
+        of the item's key is still performed first, so the latency cost of
+        resolving a destination matches the ordinary ``put`` path.
+        """
+        if instance_id is None:
+            instance_id = self.next_instance_id()
+        key = hash_key(namespace, resource_id)
+        request = {
+            "namespace": namespace,
+            "resource_id": resource_id,
+            "instance_id": instance_id,
+            "value": value,
+            "lifetime": lifetime,
+            "publisher": self.node.address,
+            "size_bytes": item_bytes,
+            "key": key,
+        }
+
+        def _deliver(_owner: int) -> None:
+            if target == self.node.address:
+                self._store_request(request)
+            else:
+                self.node.send(target, self.PROTOCOL_PUT, payload=request,
+                               payload_bytes=item_bytes)
+
+        if charge_lookup:
+            self.routing.lookup(key, _deliver)
+        else:
+            _deliver(target)
+        return instance_id
+
+    def renew(self, namespace: str, resource_id: Any, instance_id: int,
+              value: Any, lifetime: float = DEFAULT_LIFETIME_S,
+              item_bytes: int = DEFAULT_ITEM_BYTES) -> bool:
+        """Refresh an item's lifetime (paper Table 3 ``renew``).
+
+        Implemented as an idempotent re-``put`` of the same triple; returns
+        True (best-effort semantics — the DHT gives no stronger guarantee).
+        """
+        self.put(namespace, resource_id, instance_id, value, lifetime, item_bytes)
+        return True
+
+    def _on_put(self, node: Node, message) -> None:
+        self._store_request(message.payload)
+
+    def _store_request(self, request: dict) -> None:
+        item = StoredItem(
+            namespace=request["namespace"],
+            resource_id=request["resource_id"],
+            instance_id=request["instance_id"],
+            value=request["value"],
+            key=request["key"],
+            expires_at=self.now + request["lifetime"],
+            stored_at=self.now,
+            publisher=request["publisher"],
+            size_bytes=request["size_bytes"],
+        )
+        existing = {
+            stored.instance_id
+            for stored in self.storage.retrieve(item.namespace, item.resource_id, self.now)
+        }
+        self.storage.store(item)
+        if item.instance_id not in existing:
+            view = self._view(item)
+            for callback in self._new_data_callbacks.get(item.namespace, ()):
+                callback(view)
+
+    # ------------------------------------------------------------------- get
+
+    def get(self, namespace: str, resource_id: Any, callback: GetCallback,
+            request_bytes: int = 60) -> None:
+        """Fetch all items with the given namespace/resourceID (``get``)."""
+        key = hash_key(namespace, resource_id)
+
+        def _ask(owner: int) -> None:
+            if owner == self.node.address:
+                callback(self.get_local(namespace, resource_id))
+                return
+            request_id = next(self._get_ids)
+            self._pending_gets[request_id] = callback
+            self.node.send(
+                owner,
+                self.PROTOCOL_GET,
+                payload={
+                    "namespace": namespace,
+                    "resource_id": resource_id,
+                    "origin": self.node.address,
+                    "request_id": request_id,
+                },
+                payload_bytes=request_bytes,
+            )
+
+        self.routing.lookup(key, _ask)
+
+    def get_local(self, namespace: str, resource_id: Any) -> List[DHTItem]:
+        """Items for ``(namespace, resourceID)`` stored on this node."""
+        return [
+            self._view(item)
+            for item in self.storage.retrieve(namespace, resource_id, self.now)
+        ]
+
+    def _on_get(self, node: Node, message) -> None:
+        payload = message.payload
+        items = self.get_local(payload["namespace"], payload["resource_id"])
+        reply_bytes = sum(item.size_bytes for item in items) or 40
+        node.send(
+            payload["origin"],
+            self.PROTOCOL_GET_REPLY,
+            payload={"request_id": payload["request_id"], "items": items},
+            payload_bytes=reply_bytes,
+        )
+
+    def _on_get_reply(self, node: Node, message) -> None:
+        payload = message.payload
+        callback = self._pending_gets.pop(payload["request_id"], None)
+        if callback is not None:
+            callback(payload["items"])
+
+    # ------------------------------------------------------------- local ops
+
+    def lscan(self, namespace: str) -> Iterator[DHTItem]:
+        """Iterate over the items of ``namespace`` stored locally (``lscan``)."""
+        for item in self.storage.scan(namespace, self.now):
+            yield self._view(item)
+
+    def on_new_data(self, namespace: str, callback: NewDataCallback) -> None:
+        """Register a ``newData`` callback for a namespace (paper Table 3)."""
+        self._new_data_callbacks.setdefault(namespace, []).append(callback)
+
+    # -------------------------------------------------------------- multicast
+
+    def multicast(self, namespace: str, resource_id: Any, item: Any,
+                  payload_bytes: int = 200) -> int:
+        """Deliver ``item`` to every node serving ``namespace`` (``multicast``)."""
+        return self.multicast_service.multicast(
+            namespace, resource_id, item, payload_bytes=payload_bytes
+        )
+
+    def on_multicast(self, namespace: str, handler: MulticastHandler) -> None:
+        """Register a handler invoked when a multicast for ``namespace`` arrives."""
+        self.multicast_service.subscribe(namespace, handler)
+
+    # ----------------------------------------------------------------- admin
+
+    def make_renewal_agent(self, refresh_period: float) -> RenewalAgent:
+        """Create (but do not start) a renewal agent bound to this Provider."""
+        return RenewalAgent(provider=self, refresh_period=refresh_period)
+
+    def handle_node_failure(self) -> int:
+        """Drop all locally stored soft state (called when this node fails)."""
+        return self.storage.clear()
+
+    def _view(self, item: StoredItem) -> DHTItem:
+        return DHTItem(
+            namespace=item.namespace,
+            resource_id=item.resource_id,
+            instance_id=item.instance_id,
+            value=item.value,
+            publisher=item.publisher,
+            size_bytes=item.size_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Provider(node={self.node.address}, items={len(self.storage)})"

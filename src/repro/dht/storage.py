@@ -1,0 +1,193 @@
+"""Storage manager: per-node temporary storage of DHT items (paper Table 2).
+
+The paper expects nothing more of the storage manager than main-memory
+performance that keeps up with the network, and uses a main-memory
+implementation; so do we.  Items are addressed by the full
+``(namespace, resourceID, instanceID)`` triple and carry an expiry time for
+soft state.  Secondary indexes by namespace and by ``(namespace,
+resourceID)`` support the Provider's ``lscan`` and ``get`` operations
+without full scans.
+
+Expiry is enforced lazily on every read and eagerly by
+:meth:`StorageManager.expire_items`, which the Provider calls from a periodic
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import StorageError
+
+ItemKey = Tuple[str, Any, int]
+
+
+@dataclass
+class StoredItem:
+    """One item held by the storage manager.
+
+    Attributes
+    ----------
+    namespace, resource_id, instance_id:
+        The DHT naming triple (paper Section 3.2.3).
+    value:
+        Application payload (typically a tuple or a Bloom filter).
+    key:
+        The flat DHT key derived from ``(namespace, resource_id)``; kept so
+        the routing layer can decide which items migrate on join/leave.
+    expires_at:
+        Virtual time after which the item is no longer visible (soft state).
+    stored_at:
+        Virtual time at which the item was (last) stored or renewed.
+    publisher:
+        Address of the node that published the item, used by the recall
+        metric and by renewal bookkeeping.
+    size_bytes:
+        Wire size used when the item is shipped between nodes.
+    """
+
+    namespace: str
+    resource_id: Any
+    instance_id: int
+    value: Any
+    key: int
+    expires_at: float
+    stored_at: float = 0.0
+    publisher: Optional[int] = None
+    size_bytes: int = 100
+
+    @property
+    def item_key(self) -> ItemKey:
+        """The full identifying triple."""
+        return (self.namespace, self.resource_id, self.instance_id)
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the item's lifetime has elapsed."""
+        return now > self.expires_at
+
+
+class StorageManager:
+    """Main-memory store with namespace and resource indexes."""
+
+    def __init__(self) -> None:
+        self._items: Dict[ItemKey, StoredItem] = {}
+        self._by_namespace: Dict[str, Set[ItemKey]] = {}
+        self._by_resource: Dict[Tuple[str, Any], Set[ItemKey]] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # ------------------------------------------------------------------ core
+
+    def store(self, item: StoredItem) -> None:
+        """Insert or overwrite an item (paper Table 2 ``store``)."""
+        if not isinstance(item, StoredItem):
+            raise StorageError(f"can only store StoredItem instances, got {type(item)!r}")
+        key = item.item_key
+        self._items[key] = item
+        self._by_namespace.setdefault(item.namespace, set()).add(key)
+        self._by_resource.setdefault((item.namespace, item.resource_id), set()).add(key)
+
+    def retrieve(self, namespace: str, resource_id: Any, now: float) -> List[StoredItem]:
+        """All live items matching ``(namespace, resourceID)`` (``retrieve``)."""
+        keys = self._by_resource.get((namespace, resource_id), set())
+        results = []
+        expired = []
+        for key in keys:
+            item = self._items[key]
+            if item.is_expired(now):
+                expired.append(key)
+            else:
+                results.append(item)
+        for key in expired:
+            self._remove_key(key)
+        return results
+
+    def remove(self, namespace: str, resource_id: Any,
+               instance_id: Optional[int] = None) -> int:
+        """Remove matching item(s); returns the number removed (``remove``)."""
+        if instance_id is not None:
+            key = (namespace, resource_id, instance_id)
+            if key in self._items:
+                self._remove_key(key)
+                return 1
+            return 0
+        keys = list(self._by_resource.get((namespace, resource_id), set()))
+        for key in keys:
+            self._remove_key(key)
+        return len(keys)
+
+    def _remove_key(self, key: ItemKey) -> None:
+        item = self._items.pop(key, None)
+        if item is None:
+            return
+        namespace_keys = self._by_namespace.get(item.namespace)
+        if namespace_keys is not None:
+            namespace_keys.discard(key)
+            if not namespace_keys:
+                del self._by_namespace[item.namespace]
+        resource_keys = self._by_resource.get((item.namespace, item.resource_id))
+        if resource_keys is not None:
+            resource_keys.discard(key)
+            if not resource_keys:
+                del self._by_resource[(item.namespace, item.resource_id)]
+
+    # ------------------------------------------------------------- iteration
+
+    def scan(self, namespace: str, now: float) -> Iterator[StoredItem]:
+        """Iterate over live items of a namespace (backs the Provider ``lscan``)."""
+        keys = list(self._by_namespace.get(namespace, set()))
+        for key in keys:
+            item = self._items.get(key)
+            if item is None:
+                continue
+            if item.is_expired(now):
+                self._remove_key(key)
+                continue
+            yield item
+
+    def namespaces(self) -> List[str]:
+        """Namespaces that currently hold at least one item."""
+        return sorted(self._by_namespace)
+
+    def count(self, namespace: str, now: Optional[float] = None) -> int:
+        """Number of items in a namespace (live items only when ``now`` given)."""
+        if now is None:
+            return len(self._by_namespace.get(namespace, set()))
+        return sum(1 for _item in self.scan(namespace, now))
+
+    # ------------------------------------------------------------- soft state
+
+    def expire_items(self, now: float) -> int:
+        """Drop every expired item; returns the number dropped."""
+        expired = [key for key, item in self._items.items() if item.is_expired(now)]
+        for key in expired:
+            self._remove_key(key)
+        return len(expired)
+
+    # ------------------------------------------------------------- migration
+
+    def extract(self, predicate: Callable[[int], bool]) -> List[StoredItem]:
+        """Remove and return items whose DHT key satisfies ``predicate``.
+
+        Used by the routing layer to hand items to a new zone owner on
+        join/leave.
+        """
+        moving = [item for item in self._items.values() if predicate(item.key)]
+        for item in moving:
+            self._remove_key(item.item_key)
+        return moving
+
+    def install(self, items: List[StoredItem]) -> None:
+        """Install items received from another node."""
+        for item in items:
+            self.store(item)
+
+    def clear(self) -> int:
+        """Drop everything (used when a node fails); returns items dropped."""
+        dropped = len(self._items)
+        self._items.clear()
+        self._by_namespace.clear()
+        self._by_resource.clear()
+        return dropped

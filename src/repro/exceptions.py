@@ -1,0 +1,73 @@
+"""Exception hierarchy shared across the PIER reproduction.
+
+Every error raised by the library derives from :class:`PierError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing subsystem-specific problems (network, DHT, query processing,
+SQL parsing) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class PierError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class SimulationError(PierError):
+    """Raised when the discrete-event simulator is used incorrectly."""
+
+
+class NetworkError(PierError):
+    """Raised for invalid network operations (unknown node, dead link...)."""
+
+
+class NodeUnreachableError(NetworkError):
+    """Raised when a message is addressed to a failed or unknown node."""
+
+
+class DHTError(PierError):
+    """Base class for DHT-layer failures."""
+
+
+class RoutingError(DHTError):
+    """Raised when a key cannot be routed to an owner node."""
+
+
+class StorageError(DHTError):
+    """Raised by the storage manager for invalid store/retrieve operations."""
+
+
+class NamespaceError(DHTError):
+    """Raised when an operation references an unknown or invalid namespace."""
+
+
+class QueryError(PierError):
+    """Base class for query-processing failures."""
+
+
+class PlanError(QueryError):
+    """Raised when a query plan is malformed or cannot be instantiated."""
+
+
+class SchemaError(QueryError):
+    """Raised when tuples do not conform to their declared schema."""
+
+
+class ExpressionError(QueryError):
+    """Raised when an expression references unknown columns or types."""
+
+
+class SQLSyntaxError(QueryError):
+    """Raised by the SQL front end on malformed query text."""
+
+
+class CatalogError(QueryError):
+    """Raised when catalog lookups fail or definitions conflict."""
+
+
+class WorkloadError(PierError):
+    """Raised when a synthetic workload is configured inconsistently."""
+
+
+class ExperimentError(PierError):
+    """Raised by the experiment harness for invalid configurations."""

@@ -1,0 +1,23 @@
+"""Experiment harness: simulated PIER deployments and the paper's experiments."""
+
+from repro.harness.experiment import (
+    PierNetwork,
+    QueryRunResult,
+    SimulationConfig,
+    run_query,
+)
+from repro.harness.softstate import SoftStateResult, run_soft_state_experiment
+from repro.harness import analytical
+from repro.harness.reporting import format_table, format_series
+
+__all__ = [
+    "SimulationConfig",
+    "PierNetwork",
+    "QueryRunResult",
+    "run_query",
+    "run_soft_state_experiment",
+    "SoftStateResult",
+    "analytical",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,261 @@
+"""Assembling simulated PIER deployments and running queries over them.
+
+:class:`PierNetwork` builds the full stack the paper's evaluation uses: a
+topology, the discrete-event network, a stabilised DHT (CAN by default,
+Chord as the alternative), one Provider and one QueryExecutor per node.  It
+can load workload tables either through real ``put`` traffic or with a "fast
+load" that places items directly at their owners — the paper likewise starts
+its measurements only "after the CAN routing stabilizes, and tables R and S
+are loaded into the DHT".
+
+:func:`run_query` submits a query from an initiator node, advances the
+simulation, and returns the latency summary, traffic breakdown and result
+rows for that query — the quantities every benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.executor import QueryExecutor, QueryHandle
+from repro.core.query import QuerySpec
+from repro.core.tuples import RelationDef
+from repro.dht.can import CanNetworkBuilder
+from repro.dht.chord import ChordNetworkBuilder
+from repro.dht.naming import hash_key
+from repro.dht.provider import Provider
+from repro.dht.softstate import RenewalAgent
+from repro.dht.storage import StoredItem
+from repro.exceptions import ExperimentError
+from repro.metrics.latency import LatencySummary, summarize_latency
+from repro.metrics.traffic import TrafficBreakdown, breakdown_traffic
+from repro.net.cluster import ClusterTopology
+from repro.net.network import Network
+from repro.net.topology import FullMeshTopology, MBPS_10
+from repro.net.transit_stub import TransitStubTopology
+
+#: Topology names accepted by :class:`SimulationConfig`.
+TOPOLOGIES = ("full_mesh", "transit_stub", "cluster")
+#: DHT names accepted by :class:`SimulationConfig`.
+DHTS = ("can", "chord")
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of one simulated PIER deployment.
+
+    The defaults reproduce the paper's baseline setup: a fully connected
+    topology with 100 ms pairwise latency and 10 Mbps inbound links, and a
+    2-dimensional CAN.  ``bandwidth_bytes_per_s=None`` selects the
+    infinite-bandwidth (latency-only) scenario of Section 5.5.1.
+    """
+
+    num_nodes: int
+    topology: str = "full_mesh"
+    latency_s: float = 0.100
+    bandwidth_bytes_per_s: Optional[float] = MBPS_10
+    dht: str = "can"
+    can_dimensions: int = 2
+    cluster_jitter: float = 0.35
+    sweep_period_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ExperimentError("simulation needs at least one node")
+        if self.topology not in TOPOLOGIES:
+            raise ExperimentError(
+                f"unknown topology {self.topology!r}; expected one of {TOPOLOGIES}"
+            )
+        if self.dht not in DHTS:
+            raise ExperimentError(f"unknown DHT {self.dht!r}; expected one of {DHTS}")
+
+
+class PierNetwork:
+    """A fully assembled, stabilised PIER deployment inside the simulator."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self.topology = self._build_topology(config)
+        self.network = Network(self.topology)
+        if config.dht == "can":
+            self.builder = CanNetworkBuilder(dimensions=config.can_dimensions,
+                                             seed=config.seed)
+        else:
+            self.builder = ChordNetworkBuilder()
+        self.routings = self.builder.build_stabilized(self.network)
+        self.providers: Dict[int, Provider] = {}
+        self.executors: Dict[int, QueryExecutor] = {}
+        for address in range(config.num_nodes):
+            node = self.network.node(address)
+            provider = Provider(node, self.routings[address],
+                                sweep_period_s=config.sweep_period_s,
+                                instance_seed=address)
+            self.providers[address] = provider
+            self.executors[address] = QueryExecutor(node, provider)
+        self.renewal_agents: Dict[int, RenewalAgent] = {}
+
+    # ----------------------------------------------------------- construction
+
+    @staticmethod
+    def _build_topology(config: SimulationConfig):
+        bandwidth = config.bandwidth_bytes_per_s
+        capacity = float("inf") if bandwidth is None else bandwidth
+        if config.topology == "full_mesh":
+            return FullMeshTopology(config.num_nodes, latency_s=config.latency_s,
+                                    capacity_bytes_per_s=capacity)
+        if config.topology == "transit_stub":
+            return TransitStubTopology(config.num_nodes,
+                                       capacity_bytes_per_s=capacity,
+                                       seed=config.seed)
+        return ClusterTopology(config.num_nodes,
+                               capacity_bytes_per_s=capacity,
+                               load_jitter=config.cluster_jitter,
+                               seed=config.seed)
+
+    # ----------------------------------------------------------------- access
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the deployment."""
+        return self.config.num_nodes
+
+    def provider(self, address: int) -> Provider:
+        """Provider running on ``address``."""
+        return self.providers[address]
+
+    def executor(self, address: int) -> QueryExecutor:
+        """Query executor running on ``address``."""
+        return self.executors[address]
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.network.now
+
+    def owner_of(self, namespace: str, resource_id) -> int:
+        """Address of the node responsible for ``(namespace, resourceID)``."""
+        return self.builder.owner_of_key(hash_key(namespace, resource_id))
+
+    # ------------------------------------------------------------------ load
+
+    def load_relation(self, relation: RelationDef,
+                      rows_by_node: Dict[int, List[dict]],
+                      lifetime: float = 1e9,
+                      fast: bool = True,
+                      track_renewal: bool = False) -> int:
+        """Publish a relation's tuples from their publishing nodes.
+
+        ``fast=True`` places each tuple directly into its owner's storage
+        manager (no messages), which is how benchmarks pre-load tables;
+        ``fast=False`` issues real ``put`` traffic from every publisher and
+        runs the simulation until it drains.  ``track_renewal`` additionally
+        records every tuple with the publisher's renewal agent (create the
+        agents first with :meth:`start_renewal_agents`).
+
+        Returns the number of tuples loaded.
+        """
+        loaded = 0
+        for publisher, rows in rows_by_node.items():
+            if publisher >= self.num_nodes:
+                raise ExperimentError(
+                    f"publisher address {publisher} outside the {self.num_nodes}-node network"
+                )
+            provider = self.providers[publisher]
+            for row in rows:
+                resource_id = relation.resource_id(row)
+                if fast:
+                    owner = self.owner_of(relation.namespace, resource_id)
+                    instance_id = provider.next_instance_id()
+                    self.providers[owner].storage.store(StoredItem(
+                        namespace=relation.namespace,
+                        resource_id=resource_id,
+                        instance_id=instance_id,
+                        value=row,
+                        key=hash_key(relation.namespace, resource_id),
+                        expires_at=self.now + lifetime,
+                        stored_at=self.now,
+                        publisher=publisher,
+                        size_bytes=relation.tuple_bytes,
+                    ))
+                else:
+                    instance_id = provider.put(
+                        relation.namespace, resource_id, None, row,
+                        lifetime=lifetime, item_bytes=relation.tuple_bytes,
+                    )
+                if track_renewal:
+                    agent = self.renewal_agents.get(publisher)
+                    if agent is None:
+                        raise ExperimentError(
+                            "track_renewal=True requires start_renewal_agents() first"
+                        )
+                    agent.track(relation.namespace, resource_id, instance_id,
+                                row, lifetime, relation.tuple_bytes)
+                loaded += 1
+        if not fast:
+            self.network.run_until_idle()
+        return loaded
+
+    # ------------------------------------------------------------ soft state
+
+    def start_renewal_agents(self, refresh_period: float) -> Dict[int, RenewalAgent]:
+        """Create and start one renewal agent per node."""
+        for address, provider in self.providers.items():
+            agent = provider.make_renewal_agent(refresh_period)
+            agent.start()
+            self.renewal_agents[address] = agent
+        return self.renewal_agents
+
+    # -------------------------------------------------------------- execution
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Advance the simulation."""
+        return self.network.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> float:
+        """Run until the event queue drains."""
+        return self.network.run_until_idle(max_events=max_events)
+
+
+@dataclass
+class QueryRunResult:
+    """Everything one query execution produced."""
+
+    handle: QueryHandle
+    latency: LatencySummary
+    traffic: TrafficBreakdown
+    elapsed_virtual_s: float
+    rows: List[dict] = field(default_factory=list)
+
+    @property
+    def result_count(self) -> int:
+        """Number of result rows the initiator received."""
+        return self.handle.result_count
+
+
+def run_query(pier: PierNetwork, query: QuerySpec, initiator: int = 0,
+              until: Optional[float] = None, kth: int = 30,
+              reset_stats: bool = True) -> QueryRunResult:
+    """Submit ``query`` from ``initiator`` and run the simulation to completion.
+
+    With no periodic processes active the event queue drains naturally once
+    the query finishes; experiments with renewal agents or failure injection
+    must pass an explicit ``until`` horizon.
+    """
+    if reset_stats:
+        pier.network.stats.reset()
+    start = pier.now
+    handle = pier.executor(initiator).submit(query)
+    if until is None:
+        pier.run_until_idle()
+    else:
+        pier.run(until=until)
+    return QueryRunResult(
+        handle=handle,
+        latency=summarize_latency(handle, k=kth),
+        traffic=breakdown_traffic(pier.network.stats),
+        elapsed_virtual_s=pier.now - start,
+        rows=handle.final_rows(),
+    )

@@ -1,0 +1,51 @@
+"""Plain-text report formatting for the benchmark harness.
+
+Every benchmark prints the rows or series of the table/figure it reproduces;
+these helpers keep that output consistent and readable in ``pytest -s`` /
+benchmark logs and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, rows: Sequence[Dict], columns: Sequence[str] = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {column: len(str(column)) for column in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [_format_value(row.get(column)) for column in columns]
+        rendered_rows.append(rendered)
+        for column, cell in zip(columns, rendered):
+            widths[column] = max(widths[column], len(cell))
+    lines = [title]
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[column])
+                               for column, cell in zip(columns, rendered)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, y_label: str,
+                  points: Iterable) -> str:
+    """Render an (x, y) series as a two-column table (one figure curve)."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(title, rows, columns=[x_label, y_label])

@@ -1,0 +1,129 @@
+"""Soft-state / recall experiment (paper Section 5.6, Figure 6).
+
+The paper fails nodes at a configurable rate while tuples are kept alive by
+periodic renewal, and reports *average recall* — the fraction of the
+reachable-snapshot answer the query actually returns — as a function of the
+failure rate for several refresh periods.  This module wires together the
+failure injector, renewal agents and the query workload, runs a sequence of
+queries during steady-state churn, and averages their recall.
+
+The failure model follows the paper (and DESIGN.md): a failed node loses all
+stored soft state immediately, is unreachable until the 15 s keep-alive
+timeout, after which routing heals around it and the identity resumes empty;
+lost tuples reappear when their publishers next renew them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.harness.experiment import PierNetwork
+from repro.metrics.recall import recall as compute_recall
+from repro.net.failures import DEFAULT_DETECTION_DELAY_S, FailureInjector
+from repro.workloads.generator import JoinWorkload
+
+
+@dataclass
+class SoftStateResult:
+    """Outcome of one soft-state experiment configuration."""
+
+    failure_rate_per_min: float
+    refresh_period_s: float
+    recalls: List[float] = field(default_factory=list)
+
+    @property
+    def average_recall(self) -> float:
+        """Mean recall over all measured queries (1.0 if none ran)."""
+        if not self.recalls:
+            return 1.0
+        return sum(self.recalls) / len(self.recalls)
+
+    @property
+    def average_recall_percent(self) -> float:
+        """Mean recall as a percentage (the paper's Figure 6 y-axis)."""
+        return 100.0 * self.average_recall
+
+
+def _wire_failures(pier: PierNetwork, failure_rate_per_min: float,
+                   detection_delay_s: float, seed: int,
+                   protect: frozenset) -> FailureInjector:
+    """Create a failure injector whose callbacks keep DHT state consistent."""
+
+    def _on_fail(address: int) -> None:
+        pier.providers[address].handle_node_failure()
+
+    def _on_detect(address: int) -> None:
+        for routing in pier.routings.values():
+            if hasattr(routing, "mark_neighbor_dead"):
+                routing.mark_neighbor_dead(address)
+
+    def _on_recover(address: int) -> None:
+        for routing in pier.routings.values():
+            if hasattr(routing, "mark_neighbor_alive"):
+                routing.mark_neighbor_alive(address)
+
+    return FailureInjector(
+        network=pier.network,
+        failures_per_minute=failure_rate_per_min,
+        detection_delay_s=detection_delay_s,
+        seed=seed,
+        on_fail=_on_fail,
+        on_detect=_on_detect,
+        on_recover=_on_recover,
+        protect=protect,
+    )
+
+
+def run_soft_state_experiment(
+    pier: PierNetwork,
+    workload: JoinWorkload,
+    refresh_period_s: float,
+    failure_rate_per_min: float,
+    num_queries: int = 3,
+    query_interval_s: float = 60.0,
+    warmup_s: float = 30.0,
+    query_horizon_s: float = 45.0,
+    detection_delay_s: float = DEFAULT_DETECTION_DELAY_S,
+    initiator: int = 0,
+    seed: int = 0,
+) -> SoftStateResult:
+    """Measure average recall under churn for one (rate, refresh) setting.
+
+    The workload tables must *not* have been loaded yet: this function starts
+    the renewal agents, loads the tables with renewal tracking, begins
+    failure injection, and then submits ``num_queries`` instances of the
+    benchmark query spaced ``query_interval_s`` apart, comparing each
+    answer against the reachable-snapshot golden result at submission time.
+    """
+    pier.start_renewal_agents(refresh_period_s)
+    lifetime = refresh_period_s * 2.0
+    pier.load_relation(workload.r_relation, workload.r_by_node,
+                       lifetime=lifetime, fast=True, track_renewal=True)
+    pier.load_relation(workload.s_relation, workload.s_by_node,
+                       lifetime=lifetime, fast=True, track_renewal=True)
+
+    injector = _wire_failures(
+        pier, failure_rate_per_min, detection_delay_s, seed,
+        protect=frozenset({initiator}),
+    )
+    injector.start()
+    pier.run(until=pier.now + warmup_s)
+
+    result = SoftStateResult(
+        failure_rate_per_min=failure_rate_per_min,
+        refresh_period_s=refresh_period_s,
+    )
+    for _query_index in range(num_queries):
+        live = set(pier.network.live_addresses())
+        expected = workload.expected_results(live_publishers=live)
+        query = workload.make_query()
+        handle = pier.executor(initiator).submit(query)
+        pier.run(until=pier.now + query_horizon_s)
+        result.recalls.append(compute_recall(handle.rows, expected))
+        remaining = max(0.0, query_interval_s - query_horizon_s)
+        if remaining:
+            pier.run(until=pier.now + remaining)
+
+    injector.stop()
+    return result

@@ -1,0 +1,15 @@
+"""Metrics used in the paper's evaluation: result latency, traffic, recall."""
+
+from repro.metrics.latency import LatencySummary, summarize_latency
+from repro.metrics.recall import precision, recall, recall_and_precision
+from repro.metrics.traffic import TrafficBreakdown, breakdown_traffic
+
+__all__ = [
+    "LatencySummary",
+    "summarize_latency",
+    "recall",
+    "precision",
+    "recall_and_precision",
+    "TrafficBreakdown",
+    "breakdown_traffic",
+]

@@ -1,0 +1,54 @@
+"""Recall and precision against the dilated-reachable-snapshot reference set.
+
+Because PIER relaxes consistency, the paper measures answer quality with
+recall (fraction of the reference answers that were returned) and precision
+(fraction of returned answers that belong to the reference set), where the
+reference set is the result the query *would* produce over data published by
+reachable nodes at query time (Section 3.3.1).
+
+Result rows are dicts; comparison is by value (rows are reduced to hashable
+canonical forms), and duplicates are handled as multisets so a strategy that
+returns the same pair twice does not earn extra recall.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+
+def _canonical(row: Dict) -> Tuple:
+    """Hashable, order-independent form of a result row."""
+    return tuple(sorted((str(key), repr(value)) for key, value in row.items()))
+
+
+def _multiset(rows: Iterable[Dict]) -> Counter:
+    return Counter(_canonical(row) for row in rows)
+
+
+def recall(actual: Iterable[Dict], expected: Iterable[Dict]) -> float:
+    """Fraction of expected rows present in the actual result (1.0 if both empty)."""
+    expected_counts = _multiset(expected)
+    if not expected_counts:
+        return 1.0
+    actual_counts = _multiset(actual)
+    hit = sum(min(count, actual_counts.get(row, 0)) for row, count in expected_counts.items())
+    return hit / sum(expected_counts.values())
+
+
+def precision(actual: Iterable[Dict], expected: Iterable[Dict]) -> float:
+    """Fraction of actual rows that belong to the expected set (1.0 if none returned)."""
+    actual_counts = _multiset(actual)
+    if not actual_counts:
+        return 1.0
+    expected_counts = _multiset(expected)
+    hit = sum(min(count, expected_counts.get(row, 0)) for row, count in actual_counts.items())
+    return hit / sum(actual_counts.values())
+
+
+def recall_and_precision(actual: Iterable[Dict],
+                         expected: Iterable[Dict]) -> Tuple[float, float]:
+    """Both metrics in one pass over materialised lists."""
+    actual_list: List[Dict] = list(actual)
+    expected_list: List[Dict] = list(expected)
+    return recall(actual_list, expected_list), precision(actual_list, expected_list)

@@ -1,0 +1,64 @@
+"""Traffic breakdowns over the network statistics.
+
+Figure 4 of the paper reports *aggregate network traffic* per join strategy;
+the discussion attributes the differences to how much data each strategy
+rehashes versus fetches versus multicasts.  ``breakdown_traffic`` splits a
+:class:`repro.net.stats.TrafficStats` snapshot along those lines using the
+protocol names the layers tag their messages with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Bytes delivered, split by the role of the message."""
+
+    total_bytes: int
+    routing_bytes: int      # overlay lookup / neighbour maintenance hops
+    data_shipping_bytes: int  # provider put/get traffic (rehash, fetches)
+    multicast_bytes: int    # query dissemination and Bloom distribution
+    result_bytes: int       # result tuples streamed to the initiator
+    max_inbound_bytes: int
+
+    @property
+    def total_mb(self) -> float:
+        """Aggregate traffic in MB (the paper's Figure 4 unit)."""
+        return self.total_bytes / 1_000_000
+
+    @property
+    def max_inbound_mb(self) -> float:
+        """Largest per-node inbound volume in MB."""
+        return self.max_inbound_bytes / 1_000_000
+
+    def as_row(self) -> dict:
+        """Plain-dict form for report tables."""
+        return {
+            "total_mb": round(self.total_mb, 3),
+            "routing_mb": round(self.routing_bytes / 1e6, 3),
+            "data_mb": round(self.data_shipping_bytes / 1e6, 3),
+            "multicast_mb": round(self.multicast_bytes / 1e6, 3),
+            "result_mb": round(self.result_bytes / 1e6, 3),
+            "max_inbound_mb": round(self.max_inbound_mb, 3),
+        }
+
+
+def breakdown_traffic(stats) -> TrafficBreakdown:
+    """Split a TrafficStats accumulator into the paper's traffic categories."""
+    routing = (
+        stats.bytes_for_prefix("can.")
+        + stats.bytes_for_prefix("chord.")
+    )
+    data_shipping = stats.bytes_for_prefix("prov.")
+    multicast = stats.bytes_for_prefix("mc.")
+    results = stats.bytes_for_prefix("pier.result")
+    return TrafficBreakdown(
+        total_bytes=stats.aggregate_traffic_bytes,
+        routing_bytes=routing,
+        data_shipping_bytes=data_shipping,
+        multicast_bytes=multicast,
+        result_bytes=results,
+        max_inbound_bytes=stats.max_inbound_bytes(),
+    )

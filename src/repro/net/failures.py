@@ -1,0 +1,157 @@
+"""Failure injection and keep-alive failure detection (paper Section 5.6).
+
+The soft-state experiment fails nodes at a configurable rate (failures per
+minute).  The paper's model, reproduced here:
+
+* when a node fails, all DHT items stored at it are lost immediately;
+* neighbours only notice after a *detection delay* (the paper assumes 15 s of
+  unanswered keep-alives); until then messages routed to the failed node are
+  simply dropped;
+* after detection, routing heals ("the node will route immediately around
+  the failure");
+* lost tuples reappear only when their publishers renew them.
+
+Zone-takeover details of CAN are abstracted: after ``downtime`` the failed
+identity resumes with empty storage, which is indistinguishable, for the
+recall metric, from a neighbour absorbing the zone and later splitting it
+again.  This substitution is documented in DESIGN.md.
+
+``FailureInjector`` drives the process as a Poisson-like arrival stream with
+exponential inter-failure gaps (seeded, hence deterministic), and exposes
+callbacks so the DHT layer can flush storage and mark routing entries stale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.net.network import Network
+
+#: Keep-alive based detection delay assumed by the paper.
+DEFAULT_DETECTION_DELAY_S = 15.0
+
+
+@dataclass
+class FailureEvent:
+    """Record of a single injected failure."""
+
+    address: int
+    failed_at: float
+    detected_at: float
+    recovered_at: float
+
+
+@dataclass
+class FailureInjector:
+    """Poisson failure process over the live nodes of a network.
+
+    Parameters
+    ----------
+    network:
+        The network whose nodes will be failed.
+    failures_per_minute:
+        Mean failure arrival rate.  A rate of 0 disables injection.
+    detection_delay_s:
+        Time before neighbours notice the failure (routing heals afterwards).
+    downtime_s:
+        Time the node stays down before resuming with empty storage.  The
+        default equals the detection delay, i.e. the identity resumes as
+        soon as routing has healed around it.
+    seed:
+        Seed for the failure arrival process and victim choice.
+    on_fail / on_detect / on_recover:
+        Callbacks invoked with the node address at the corresponding instant.
+        The DHT layer uses ``on_fail`` to drop stored items and
+        ``on_recover`` to clear stale routing state.
+    protect:
+        Addresses never selected as victims (e.g. the query initiator site),
+        mirroring the paper's implicit assumption that the query site stays up.
+    """
+
+    network: Network
+    failures_per_minute: float
+    detection_delay_s: float = DEFAULT_DETECTION_DELAY_S
+    downtime_s: Optional[float] = None
+    seed: int = 0
+    on_fail: Optional[Callable[[int], None]] = None
+    on_detect: Optional[Callable[[int], None]] = None
+    on_recover: Optional[Callable[[int], None]] = None
+    protect: frozenset = frozenset()
+    events: List[FailureEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.failures_per_minute < 0:
+            raise ValueError("failure rate must be non-negative")
+        if self.downtime_s is None:
+            self.downtime_s = self.detection_delay_s
+        self._rng = random.Random(self.seed)
+        self._running = False
+
+    # ----------------------------------------------------------------- drive
+
+    def start(self) -> None:
+        """Begin injecting failures (no-op if the rate is zero)."""
+        if self.failures_per_minute <= 0 or self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop scheduling new failures (in-flight recoveries still complete)."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        mean_gap = 60.0 / self.failures_per_minute
+        gap = self._rng.expovariate(1.0 / mean_gap)
+        self.network.simulator.schedule(gap, self._inject)
+
+    def _inject(self) -> None:
+        if not self._running:
+            return
+        victims = [
+            address
+            for address in self.network.live_addresses()
+            if address not in self.protect
+        ]
+        if victims:
+            address = self._rng.choice(victims)
+            self.fail_now(address)
+        self._schedule_next()
+
+    # ------------------------------------------------------------ mechanics
+
+    def fail_now(self, address: int) -> FailureEvent:
+        """Fail a specific node immediately (also used directly by tests)."""
+        now = self.network.now
+        event = FailureEvent(
+            address=address,
+            failed_at=now,
+            detected_at=now + self.detection_delay_s,
+            recovered_at=now + float(self.downtime_s),
+        )
+        self.events.append(event)
+        self.network.fail_node(address)
+        if self.on_fail is not None:
+            self.on_fail(address)
+        self.network.simulator.schedule(self.detection_delay_s, self._detect, address)
+        self.network.simulator.schedule(float(self.downtime_s), self._recover, address)
+        return event
+
+    def _detect(self, address: int) -> None:
+        if self.on_detect is not None:
+            self.on_detect(address)
+
+    def _recover(self, address: int) -> None:
+        self.network.recover_node(address)
+        if self.on_recover is not None:
+            self.on_recover(address)
+
+    # -------------------------------------------------------------- analysis
+
+    def failures_in(self, start: float, end: float) -> int:
+        """Number of failures injected in the half-open interval [start, end)."""
+        return sum(1 for event in self.events if start <= event.failed_at < end)

@@ -1,0 +1,68 @@
+"""Inbound-link serialisation and queueing model.
+
+The paper's baseline simulation setup places the network bottleneck at each
+node's inbound ("last hop") link: 10 Mbps per node, with contention whenever
+several senders ship data to the same destination at once.  This module
+models each receiver's inbound link as a single FIFO server:
+
+* a message arriving at virtual time ``t`` (after propagation latency) begins
+  service at ``max(t, link_busy_until)``;
+* service lasts ``size_bytes / capacity`` seconds;
+* the link is then busy until service completes, delaying later arrivals.
+
+With ``capacity == inf`` the link degenerates to pure propagation delay,
+which is exactly the paper's "infinite bandwidth" scenario of Section 5.5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class InboundLink:
+    """FIFO queueing model of one node's inbound link.
+
+    Attributes
+    ----------
+    capacity_bytes_per_s:
+        Link speed.  ``float('inf')`` disables serialisation delay.
+    busy_until:
+        Virtual time until which the link is occupied by earlier messages.
+    """
+
+    capacity_bytes_per_s: float
+    busy_until: float = 0.0
+    bytes_served: int = 0
+
+    def admit(self, arrival_time: float, size_bytes: int) -> tuple[float, float]:
+        """Admit a message and return ``(delivery_time, queueing_delay)``.
+
+        ``arrival_time`` is when the first bit reaches the link (propagation
+        already accounted for).  ``queueing_delay`` is the time spent waiting
+        behind earlier messages, excluding this message's own serialisation.
+        """
+        if size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        if self.capacity_bytes_per_s == float("inf"):
+            self.bytes_served += size_bytes
+            return arrival_time, 0.0
+        start = max(arrival_time, self.busy_until)
+        queueing_delay = start - arrival_time
+        service = size_bytes / self.capacity_bytes_per_s
+        finish = start + service
+        self.busy_until = finish
+        self.bytes_served += size_bytes
+        return finish, queueing_delay
+
+    def utilisation_since(self, since: float, now: float) -> float:
+        """Approximate utilisation of the link over ``[since, now]``."""
+        if now <= since or self.capacity_bytes_per_s == float("inf"):
+            return 0.0
+        busy = min(self.busy_until, now) - since
+        return max(0.0, busy) / (now - since)
+
+    def reset(self, now: float = 0.0) -> None:
+        """Forget queued backlog; used when a node restarts after a failure."""
+        self.busy_until = now
+        self.bytes_served = 0

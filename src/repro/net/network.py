@@ -1,0 +1,153 @@
+"""The simulated network tying nodes, topology, links and the simulator together.
+
+``Network`` owns:
+
+* the :class:`repro.net.simulator.Simulator` (virtual clock),
+* one :class:`repro.net.node.Node` per address in the topology,
+* one :class:`repro.net.links.InboundLink` per node,
+* a :class:`repro.net.stats.TrafficStats` accumulator.
+
+Message delivery follows the paper's model: propagation latency given by the
+topology, then serialisation/queueing at the *receiver's* inbound link, then
+handler dispatch on the destination node.  Messages to dead nodes are dropped
+after the propagation delay (the sender gets no error — failure detection is
+the job of keep-alives one layer up, exactly as in the paper's soft-state
+discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.exceptions import NetworkError
+from repro.net.links import InboundLink
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.net.stats import TrafficStats
+from repro.net.topology import Topology
+
+
+class Network:
+    """Message-passing fabric over a static topology."""
+
+    def __init__(self, topology: Topology, simulator: Optional[Simulator] = None):
+        self.topology = topology
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.stats = TrafficStats()
+        self.nodes: Dict[int, Node] = {
+            address: Node(address, self) for address in range(topology.num_nodes)
+        }
+        self._links: Dict[int, InboundLink] = {
+            address: InboundLink(topology.inbound_capacity(address))
+            for address in range(topology.num_nodes)
+        }
+
+    # ------------------------------------------------------------- topology
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the network (live or failed)."""
+        return self.topology.num_nodes
+
+    def node(self, address: int) -> Node:
+        """Return the node object at ``address``."""
+        try:
+            return self.nodes[address]
+        except KeyError:
+            raise NetworkError(f"unknown node address {address}") from None
+
+    def live_nodes(self) -> List[Node]:
+        """All nodes currently alive."""
+        return [node for node in self.nodes.values() if node.alive]
+
+    def live_addresses(self) -> List[int]:
+        """Addresses of all nodes currently alive."""
+        return [node.address for node in self.nodes.values() if node.alive]
+
+    def link(self, address: int) -> InboundLink:
+        """Inbound link of ``address`` (exposed for tests and metrics)."""
+        return self._links[address]
+
+    # ------------------------------------------------------------- messaging
+
+    def send(self, message: Message) -> None:
+        """Queue ``message`` for delivery according to the network model."""
+        if message.dst not in self.nodes:
+            raise NetworkError(f"message addressed to unknown node {message.dst}")
+        if message.src not in self.nodes:
+            raise NetworkError(f"message sent from unknown node {message.src}")
+        self.stats.record_send(message)
+        sent_at = self.simulator.now
+
+        if message.src == message.dst:
+            # Local delivery: no propagation, no link serialisation; still
+            # asynchronous (zero-delay event) to preserve callback ordering.
+            self.simulator.schedule(0.0, self._deliver, message, sent_at, 0.0)
+            return
+
+        latency = self.topology.latency(message.src, message.dst)
+        arrival = sent_at + latency
+        link = self._links[message.dst]
+        delivery_time, queued_for = link.admit(arrival, message.size_bytes)
+        self.simulator.schedule_at(delivery_time, self._deliver, message, sent_at, queued_for)
+
+    def _deliver(self, message: Message, sent_at: float, queued_for: float) -> None:
+        """Final delivery step executed by the simulator."""
+        destination = self.nodes[message.dst]
+        if not destination.alive:
+            self.stats.record_drop(message)
+            self._bounce(message)
+            return
+        self.stats.record_delivery(message, queued_for)
+        destination.deliver(message)
+
+    def _bounce(self, message: Message) -> None:
+        """Notify the sender that delivery failed (models a transport timeout).
+
+        The notification arrives one extra propagation delay after the failed
+        delivery attempt and is purely local to the sender (no bytes are
+        charged to the network).  Senders opt in per protocol via
+        :meth:`repro.net.node.Node.register_bounce_handler`.
+        """
+        sender = self.nodes.get(message.src)
+        if sender is None or message.src == message.dst:
+            return
+        delay = self.topology.latency(message.src, message.dst)
+        self.simulator.schedule(delay, sender.deliver_bounce, message)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Advance the simulation (delegates to the simulator)."""
+        return self.simulator.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> float:
+        """Run until no events remain."""
+        return self.simulator.run_until_idle(max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.simulator.now
+
+    # --------------------------------------------------------------- failure
+
+    def fail_node(self, address: int) -> None:
+        """Mark a node as failed (messages to it will be dropped)."""
+        self.node(address).fail()
+
+    def recover_node(self, address: int) -> None:
+        """Bring a failed node back up and clear its inbound backlog."""
+        node = self.node(address)
+        node.recover()
+        self._links[address].reset(self.simulator.now)
+
+    def fail_nodes(self, addresses: Iterable[int]) -> None:
+        """Fail several nodes at once."""
+        for address in addresses:
+            self.fail_node(address)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(nodes={self.num_nodes}, topology={self.topology!r})"

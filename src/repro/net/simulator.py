@@ -1,0 +1,226 @@
+"""Discrete-event simulator with a virtual clock.
+
+Every experiment in the paper is driven by a message-level simulator; this
+module provides the event loop that the network, DHT and query-processor
+layers schedule work on.  The design is a classic calendar queue built on
+``heapq``:
+
+* :meth:`Simulator.schedule` registers a callback to fire after a delay.
+* :meth:`Simulator.run` drains events in timestamp order, advancing the
+  virtual clock; wall-clock time never enters the simulation.
+* Periodic processes (soft-state sweeps, keep-alives, renewals) are
+  expressed with :meth:`Simulator.schedule_periodic`, which returns a handle
+  that can be cancelled.
+
+Events scheduled for the same timestamp fire in FIFO order of scheduling,
+which keeps runs deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    """Internal heap entry; ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the event is due to fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+
+class PeriodicHandle:
+    """Handle for a repeating event; cancelling stops future repetitions."""
+
+    __slots__ = ("active", "current")
+
+    def __init__(self) -> None:
+        self.active = True
+        self.current: Optional[EventHandle] = None
+
+    def cancel(self) -> None:
+        """Stop the periodic process."""
+        self.active = False
+        if self.current is not None:
+            self.current.cancel()
+
+
+class Simulator:
+    """Virtual-clock discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in seconds.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed since construction."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue (including cancelled)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        event = _Event(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, clock already at {self._now}"
+            )
+        return self.schedule(time - self._now, callback, *args)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[..., None],
+        *args: Any,
+        initial_delay: Optional[float] = None,
+    ) -> PeriodicHandle:
+        """Run ``callback(*args)`` every ``period`` seconds until cancelled.
+
+        ``initial_delay`` defaults to ``period`` (i.e. the first firing is one
+        full period from now).
+        """
+        if period <= 0:
+            raise SimulationError(f"periodic events need a positive period (got {period})")
+        handle = PeriodicHandle()
+        first = period if initial_delay is None else initial_delay
+
+        def _fire() -> None:
+            if not handle.active:
+                return
+            callback(*args)
+            if handle.active:
+                handle.current = self.schedule(period, _fire)
+
+        handle.current = self.schedule(first, _fire)
+        return handle
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Process events until the queue drains or a limit is hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance past this virtual time.  Events
+            scheduled exactly at ``until`` are executed.
+        max_events:
+            Stop after executing this many events (safety valve for tests).
+
+        Returns
+        -------
+        float
+            The virtual time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_processed += 1
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._has_runnable(until):
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> float:
+        """Run until no events remain; convenience wrapper over :meth:`run`."""
+        return self.run(until=None, max_events=max_events)
+
+    def _has_runnable(self, until: float) -> bool:
+        """Whether any non-cancelled event is due at or before ``until``."""
+        return any(not e.cancelled and e.time <= until for e in self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}, pending={len(self._queue)}, "
+            f"processed={self._events_processed})"
+        )

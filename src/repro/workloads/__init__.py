@@ -1,0 +1,7 @@
+"""Synthetic workloads: the paper's R ⋈ S benchmark and the network-monitoring
+relations that motivate PIER in Section 2.1."""
+
+from repro.workloads.generator import JoinWorkload, WorkloadConfig
+from repro.workloads.network_monitoring import NetworkMonitoringWorkload
+
+__all__ = ["WorkloadConfig", "JoinWorkload", "NetworkMonitoringWorkload"]

@@ -1,0 +1,53 @@
+"""Unit tests for the hierarchical aggregation helpers."""
+
+from repro.core import aggregation_tree as tree
+
+
+def test_combiner_bucket_is_deterministic_and_bounded():
+    for address in range(50):
+        bucket = tree.combiner_bucket(address, query_id=7, branching=8)
+        assert 0 <= bucket < 8
+        assert bucket == tree.combiner_bucket(address, query_id=7, branching=8)
+
+
+def test_combiner_bucket_varies_with_query_id():
+    buckets_a = [tree.combiner_bucket(address, 1) for address in range(64)]
+    buckets_b = [tree.combiner_bucket(address, 2) for address in range(64)]
+    assert buckets_a != buckets_b
+
+
+def test_combiner_bucket_spreads_addresses_over_buckets():
+    buckets = {tree.combiner_bucket(address, query_id=3, branching=8)
+               for address in range(200)}
+    assert len(buckets) >= 6  # most buckets are used
+
+
+def test_combiner_bucket_handles_degenerate_branching():
+    assert tree.combiner_bucket(5, 1, branching=1) == 0
+    assert tree.combiner_bucket(5, 1, branching=0) == 0  # clamped to 1
+
+
+def test_level_resource_ids_and_predicates():
+    group = ("fp-hot-1",)
+    level1 = tree.level1_resource_id(3, group)
+    level0 = tree.level0_resource_id(group)
+    assert tree.is_level1(level1) and not tree.is_level0(level1)
+    assert tree.is_level0(level0) and not tree.is_level1(level0)
+    assert tree.group_of(level1) == group
+    assert tree.group_of(level0) == group
+
+
+def test_level_predicates_reject_foreign_resource_ids():
+    assert not tree.is_level0("plain-resource")
+    assert not tree.is_level1(("agg-l0", ("g",)))
+    assert not tree.is_level0(("agg-l1", 2, ("g",)))
+    assert not tree.is_level1(42)
+
+
+def test_level_ids_distinct_per_bucket_and_group():
+    ids = {
+        tree.level1_resource_id(bucket, (group,))
+        for bucket in range(4)
+        for group in ("a", "b")
+    }
+    assert len(ids) == 8

@@ -1,0 +1,93 @@
+"""Unit tests for Bloom filters."""
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+
+
+def test_added_items_are_members():
+    bloom = BloomFilter(num_bits=1024, num_hashes=3)
+    for value in range(50):
+        bloom.add(value)
+    assert all(value in bloom for value in range(50))
+
+
+def test_empty_filter_has_no_members():
+    bloom = BloomFilter()
+    assert bloom.is_empty()
+    assert 42 not in bloom
+
+
+def test_no_false_negatives_with_mixed_types():
+    bloom = BloomFilter(num_bits=2048, num_hashes=4)
+    values = [1, "one", (1, 2), 3.5, "domain.example"]
+    bloom.update(values)
+    assert all(bloom.contains(value) for value in values)
+
+
+def test_false_positive_rate_is_low_when_sized_correctly():
+    bloom = BloomFilter.for_capacity(200, false_positive_rate=0.01)
+    bloom.update(range(200))
+    false_positives = sum(1 for probe in range(10_000, 11_000) if probe in bloom)
+    assert false_positives < 50  # 5% slack over the 1% target
+
+
+def test_union_is_superset_of_both_inputs():
+    a = BloomFilter(1024, 3)
+    b = BloomFilter(1024, 3)
+    a.update(range(0, 30))
+    b.update(range(30, 60))
+    merged = a.union(b)
+    assert all(value in merged for value in range(60))
+    # The originals are unchanged.
+    assert 45 not in a
+
+
+def test_union_in_place_accumulates():
+    accumulator = BloomFilter(1024, 3)
+    for start in (0, 20, 40):
+        piece = BloomFilter(1024, 3)
+        piece.update(range(start, start + 20))
+        accumulator.union_in_place(piece)
+    assert all(value in accumulator for value in range(60))
+
+
+def test_union_requires_matching_parameters():
+    with pytest.raises(ValueError):
+        BloomFilter(1024, 3).union(BloomFilter(512, 3))
+    with pytest.raises(ValueError):
+        BloomFilter(1024, 3).union_in_place(BloomFilter(1024, 4))
+
+
+def test_size_bytes_matches_bit_width():
+    assert BloomFilter(num_bits=8192).size_bytes == 1024
+    assert BloomFilter(num_bits=10).size_bytes == 2
+
+
+def test_fill_ratio_and_fp_estimate_grow_with_insertions():
+    bloom = BloomFilter(512, 3)
+    assert bloom.fill_ratio() == 0.0
+    bloom.update(range(100))
+    assert 0.0 < bloom.fill_ratio() <= 1.0
+    assert 0.0 < bloom.estimated_false_positive_rate() <= 1.0
+
+
+def test_copy_is_independent():
+    original = BloomFilter(256, 2)
+    original.add("x")
+    duplicate = original.copy()
+    duplicate.add("y")
+    assert "y" in duplicate
+    assert "y" not in original
+
+
+def test_for_capacity_validates_rate():
+    with pytest.raises(ValueError):
+        BloomFilter.for_capacity(10, false_positive_rate=1.5)
+
+
+def test_constructor_validates_parameters():
+    with pytest.raises(ValueError):
+        BloomFilter(num_bits=0)
+    with pytest.raises(ValueError):
+        BloomFilter(num_hashes=0)

@@ -1,0 +1,152 @@
+"""Integration tests: all four distributed join strategies produce the right answer."""
+
+import pytest
+
+from repro.core.query import JoinStrategy
+from repro.harness import run_query
+from repro.metrics.recall import recall_and_precision
+from tests.conftest import build_pier, build_workload, load_join_tables
+
+
+def run_strategy(strategy, num_nodes=16, dht="can", initiator=0, s_selectivity=None,
+                 **workload_overrides):
+    workload = build_workload(num_nodes, **workload_overrides)
+    pier = build_pier(num_nodes, dht=dht)
+    load_join_tables(pier, workload)
+    query = workload.make_query(strategy=strategy, s_selectivity=s_selectivity)
+    result = run_query(pier, query, initiator=initiator)
+    expected = workload.expected_results(s_selectivity=s_selectivity)
+    return result, expected
+
+
+@pytest.mark.parametrize("strategy", list(JoinStrategy))
+def test_strategy_returns_exactly_the_golden_result(strategy):
+    result, expected = run_strategy(strategy)
+    assert result.result_count == len(expected)
+    observed_recall, observed_precision = recall_and_precision(result.handle.rows, expected)
+    assert observed_recall == pytest.approx(1.0)
+    assert observed_precision == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("strategy", list(JoinStrategy))
+def test_strategy_correct_over_chord(strategy):
+    result, expected = run_strategy(strategy, dht="chord")
+    assert result.result_count == len(expected)
+
+
+def test_result_rows_contain_only_projected_columns():
+    result, expected = run_strategy(JoinStrategy.SYMMETRIC_HASH)
+    assert expected  # sanity: the workload produces output
+    for row in result.handle.rows:
+        assert set(row) == {"R.pkey", "S.pkey", "R.pad"}
+
+
+def test_results_stream_incrementally_not_in_one_batch():
+    result, _expected = run_strategy(JoinStrategy.SYMMETRIC_HASH, num_nodes=24,
+                                     s_tuples_per_node=3)
+    times = result.handle.arrival_times()
+    assert len(set(times)) > 1  # arrivals spread over time (pipelined execution)
+
+
+def test_initiator_can_be_any_node():
+    result_a, expected = run_strategy(JoinStrategy.SYMMETRIC_HASH, initiator=0)
+    result_b, _ = run_strategy(JoinStrategy.SYMMETRIC_HASH, initiator=11)
+    assert result_a.result_count == result_b.result_count == len(expected)
+
+
+def test_empty_selectivity_produces_no_results():
+    workload = build_workload(8)
+    pier = build_pier(8)
+    load_join_tables(pier, workload)
+    # Selectivity 0 on S: no S tuple passes, so no join results.
+    query = workload.make_query(s_selectivity=0.0)
+    result = run_query(pier, query, initiator=0)
+    assert result.result_count == 0
+
+
+def test_full_selectivity_returns_more_results_than_half():
+    _result_half, expected_half = run_strategy(JoinStrategy.SYMMETRIC_HASH,
+                                               s_selectivity=0.5)
+    _result_full, expected_full = run_strategy(JoinStrategy.SYMMETRIC_HASH,
+                                                s_selectivity=1.0)
+    assert len(expected_full) > len(expected_half)
+
+
+def test_symmetric_hash_uses_more_data_traffic_than_semi_join():
+    """Figure 4's headline: SHJ rehashes everything, the semi-join rewrite does not."""
+    shj, _ = run_strategy(JoinStrategy.SYMMETRIC_HASH, num_nodes=24, s_tuples_per_node=3)
+    semi, _ = run_strategy(JoinStrategy.SYMMETRIC_SEMI_JOIN, num_nodes=24, s_tuples_per_node=3)
+    assert shj.traffic.data_shipping_bytes > semi.traffic.data_shipping_bytes
+
+
+def test_bloom_join_reduces_rehash_traffic_at_low_selectivity():
+    shj, _ = run_strategy(JoinStrategy.SYMMETRIC_HASH, num_nodes=24,
+                          s_tuples_per_node=3, s_selectivity=0.1)
+    bloom, _ = run_strategy(JoinStrategy.BLOOM, num_nodes=24,
+                            s_tuples_per_node=3, s_selectivity=0.1)
+    assert bloom.traffic.data_shipping_bytes < shj.traffic.data_shipping_bytes
+
+
+def test_bloom_join_takes_longer_than_symmetric_hash():
+    """Table 4: the two extra phases (collect + redistribute filters) cost latency."""
+    shj, _ = run_strategy(JoinStrategy.SYMMETRIC_HASH)
+    bloom, _ = run_strategy(JoinStrategy.BLOOM)
+    assert bloom.latency.time_to_last > shj.latency.time_to_last
+
+
+def test_fetch_matches_requires_a_side_hashed_on_join_key():
+    from repro.core.query import JoinClause, QuerySpec, TableRef
+    from repro.exceptions import PlanError
+    from repro.core.executor import QueryExecutor
+
+    workload = build_workload(8)
+    pier = build_pier(8)
+    load_join_tables(pier, workload)
+    # Join on a non-resourceID column of both sides: Fetch Matches cannot run.
+    query = QuerySpec(
+        tables=[TableRef(workload.r_relation, "R"), TableRef(workload.s_relation, "S")],
+        output_columns=["R.pkey", "S.pkey"],
+        join=JoinClause("R", "num2", "S", "num2"),
+        strategy=JoinStrategy.FETCH_MATCHES,
+    )
+    with pytest.raises(PlanError):
+        pier.executor(0).submit(query)
+        pier.run_until_idle()
+
+
+def test_computation_nodes_confine_rehash_state():
+    workload = build_workload(16)
+    pier = build_pier(16)
+    load_join_tables(pier, workload)
+    computation_nodes = [2, 5]
+    query = workload.make_query()
+    query.computation_nodes = computation_nodes
+    result = run_query(pier, query, initiator=0)
+    assert result.result_count == len(workload.expected_results())
+    rehash_namespace = query.rehash_namespace()
+    for address in range(16):
+        count = pier.provider(address).storage.count(rehash_namespace)
+        if address in computation_nodes:
+            continue
+        assert count == 0, f"node {address} unexpectedly holds rehash state"
+    held = sum(pier.provider(address).storage.count(rehash_namespace)
+               for address in computation_nodes)
+    assert held > 0
+
+
+def test_single_computation_node_receives_more_inbound_traffic():
+    workload = build_workload(16, s_tuples_per_node=3)
+    pier_all = build_pier(16)
+    load_join_tables(pier_all, workload)
+    result_all = run_query(pier_all, workload.make_query(), initiator=0)
+
+    pier_one = build_pier(16)
+    load_join_tables(pier_one, workload)
+    query_one = workload.make_query()
+    query_one.computation_nodes = [3]
+    result_one = run_query(pier_one, query_one, initiator=0)
+
+    assert result_one.result_count == result_all.result_count
+    inbound_single = pier_one.network.stats.inbound_bytes[3]
+    max_inbound_all = result_all.traffic.max_inbound_bytes
+    assert inbound_single > max_inbound_all

@@ -1,0 +1,211 @@
+"""Tests for the experiment harness, analytical models and reporting helpers."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.harness import PierNetwork, SimulationConfig, analytical, format_series, format_table, run_query
+from repro.harness.softstate import run_soft_state_experiment
+from repro.workloads import JoinWorkload, WorkloadConfig
+from tests.conftest import build_pier, build_workload, load_join_tables
+
+
+# --------------------------------------------------------------------- config
+
+
+def test_simulation_config_validation():
+    with pytest.raises(ExperimentError):
+        SimulationConfig(num_nodes=0)
+    with pytest.raises(ExperimentError):
+        SimulationConfig(num_nodes=4, topology="ring")
+    with pytest.raises(ExperimentError):
+        SimulationConfig(num_nodes=4, dht="pastry")
+
+
+def test_pier_network_builds_all_services():
+    pier = build_pier(8)
+    assert pier.num_nodes == 8
+    for address in range(8):
+        assert pier.provider(address) is not None
+        assert pier.executor(address) is not None
+        assert pier.routings[address].zones
+
+
+def test_infinite_bandwidth_config_uses_unbounded_links():
+    pier = PierNetwork(SimulationConfig(num_nodes=4, bandwidth_bytes_per_s=None))
+    assert pier.network.link(0).capacity_bytes_per_s == float("inf")
+
+
+def test_topology_variants_construct():
+    assert PierNetwork(SimulationConfig(num_nodes=6, topology="transit_stub")).num_nodes == 6
+    assert PierNetwork(SimulationConfig(num_nodes=6, topology="cluster")).num_nodes == 6
+    assert PierNetwork(SimulationConfig(num_nodes=6, dht="chord")).num_nodes == 6
+
+
+# ----------------------------------------------------------------------- load
+
+
+def test_fast_load_places_tuples_at_owner():
+    pier = build_pier(8)
+    workload = build_workload(8)
+    loaded = pier.load_relation(workload.r_relation, workload.r_by_node)
+    assert loaded == sum(len(rows) for rows in workload.r_by_node.values())
+    for address in range(8):
+        for item in pier.provider(address).lscan("R"):
+            assert pier.owner_of("R", item.resource_id) == address
+
+
+def test_slow_load_matches_fast_load_placement():
+    workload = build_workload(6, s_tuples_per_node=1)
+    fast = build_pier(6)
+    fast.load_relation(workload.s_relation, workload.s_by_node, fast=True)
+    slow = build_pier(6)
+    slow.load_relation(workload.s_relation, workload.s_by_node, fast=False)
+    for address in range(6):
+        fast_keys = sorted(item.resource_id for item in fast.provider(address).lscan("S"))
+        slow_keys = sorted(item.resource_id for item in slow.provider(address).lscan("S"))
+        assert fast_keys == slow_keys
+
+
+def test_load_rejects_unknown_publisher():
+    pier = build_pier(4)
+    workload = build_workload(4)
+    with pytest.raises(ExperimentError):
+        pier.load_relation(workload.r_relation, {99: [workload.r_by_node[0][0]]})
+
+
+def test_track_renewal_requires_agents():
+    pier = build_pier(4)
+    workload = build_workload(4)
+    with pytest.raises(ExperimentError):
+        pier.load_relation(workload.r_relation, workload.r_by_node, track_renewal=True)
+
+
+# ------------------------------------------------------------------ run_query
+
+
+def test_run_query_returns_latency_and_traffic(loaded_pier):
+    pier, workload = loaded_pier
+    result = run_query(pier, workload.make_query(), initiator=0)
+    assert result.result_count == len(workload.expected_results())
+    assert result.latency.time_to_last > 0
+    assert result.traffic.total_bytes > 0
+    assert result.elapsed_virtual_s > 0
+
+
+def test_run_query_resets_stats_between_runs(loaded_pier):
+    pier, workload = loaded_pier
+    first = run_query(pier, workload.make_query(), initiator=0)
+    second = run_query(pier, workload.make_query(), initiator=0)
+    # Same query over the same data: traffic should be of the same magnitude,
+    # not cumulative.
+    assert second.traffic.total_bytes < first.traffic.total_bytes * 2
+
+
+def test_run_query_with_horizon_stops_at_that_time(loaded_pier):
+    pier, workload = loaded_pier
+    start = pier.now
+    run_query(pier, workload.make_query(), initiator=0, until=start + 2.0)
+    assert pier.now <= start + 2.0 + 1e-9
+
+
+# ------------------------------------------------------------------ softstate
+
+
+def test_soft_state_experiment_reports_recall():
+    pier = build_pier(24)
+    workload = build_workload(24, s_tuples_per_node=2)
+    result = run_soft_state_experiment(
+        pier, workload,
+        refresh_period_s=30.0,
+        failure_rate_per_min=4.0,
+        num_queries=2,
+        query_interval_s=40.0,
+        warmup_s=20.0,
+        query_horizon_s=30.0,
+        seed=3,
+    )
+    assert len(result.recalls) == 2
+    assert 0.0 <= result.average_recall <= 1.0
+    assert result.average_recall_percent == pytest.approx(result.average_recall * 100)
+
+
+def test_soft_state_without_failures_has_perfect_recall():
+    pier = build_pier(12)
+    workload = build_workload(12, s_tuples_per_node=2)
+    result = run_soft_state_experiment(
+        pier, workload,
+        refresh_period_s=30.0,
+        failure_rate_per_min=0.0,
+        num_queries=1,
+        query_interval_s=40.0,
+        warmup_s=10.0,
+        query_horizon_s=30.0,
+    )
+    assert result.average_recall == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------- analytical
+
+
+def test_can_hops_formula():
+    assert analytical.can_average_hops(1024, 2) == pytest.approx(16.0)
+    assert analytical.can_average_hops(1, 2) == 0.0
+    assert analytical.chord_average_hops(1024) == pytest.approx(5.0)
+
+
+def test_lookup_and_multicast_latency_scale_with_n():
+    assert analytical.lookup_latency(4096) > analytical.lookup_latency(256)
+    assert analytical.multicast_latency(4096) > analytical.multicast_latency(256)
+    # Paper: multicast reaches 1024 nodes in roughly 3 seconds.
+    assert 2.0 <= analytical.multicast_latency(1024) <= 4.5
+
+
+def test_strategy_cost_ordering_matches_paper_table4():
+    times = analytical.predicted_strategy_times(1024)
+    assert times["symmetric_hash"] <= times["fetch_matches"]
+    assert times["fetch_matches"] < times["symmetric_semi_join"]
+    assert times["symmetric_semi_join"] < times["bloom"]
+
+
+def test_centralised_bandwidth_model():
+    selected = analytical.selected_data_bytes(1_000_000_000, 0.5)
+    one_node = analytical.inbound_bytes_per_computation_node(selected, 1024, 1)
+    all_nodes = analytical.inbound_bytes_per_computation_node(selected, 1024, 1024)
+    assert one_node > all_nodes
+    assert all_nodes == pytest.approx(0.0)
+    mbps = analytical.required_downlink_mbps(selected, 1024, 1, 60.0)
+    # The paper quotes ~66 Mbps for answering within a minute.
+    assert 50.0 <= mbps <= 80.0
+
+
+def test_expected_recall_model():
+    assert analytical.expected_recall(0.0, 60.0, 4096) == 1.0
+    degraded = analytical.expected_recall(240.0, 60.0, 4096)
+    assert 0.95 <= degraded < 1.0
+    with pytest.raises(ValueError):
+        analytical.expected_recall(10.0, 60.0, 0)
+
+
+def test_analytical_validation_errors():
+    with pytest.raises(ValueError):
+        analytical.inbound_bytes_per_computation_node(1.0, 10, 0)
+    with pytest.raises(ValueError):
+        analytical.required_downlink_mbps(1.0, 10, 1, 0.0)
+
+
+# ------------------------------------------------------------------ reporting
+
+
+def test_format_table_alignment_and_missing_values():
+    text = format_table("Title", [{"a": 1, "b": 2.5}, {"a": 10}])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "-" in lines[-1] or "10" in lines[-1]
+    assert "10" in text
+
+
+def test_format_series_renders_points():
+    text = format_series("Curve", "n", "seconds", [(2, 0.5), (4, 0.75)])
+    assert "n" in text and "seconds" in text
+    assert "0.750" in text

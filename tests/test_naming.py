@@ -1,0 +1,58 @@
+"""Unit tests for DHT key derivation."""
+
+from repro.dht.naming import (
+    KEY_SPACE,
+    hash_key,
+    hash_namespace,
+    key_to_unit_coordinates,
+    node_identifier,
+)
+
+
+def test_hash_key_is_deterministic():
+    assert hash_key("R", 42) == hash_key("R", 42)
+
+
+def test_hash_key_depends_on_namespace_and_resource():
+    assert hash_key("R", 42) != hash_key("S", 42)
+    assert hash_key("R", 42) != hash_key("R", 43)
+
+
+def test_hash_key_within_key_space():
+    for resource in (0, "abc", ("x", 1), 10**9):
+        key = hash_key("ns", resource)
+        assert 0 <= key < KEY_SPACE
+
+
+def test_hash_key_accepts_tuple_resource_ids():
+    assert hash_key("agg", ("agg-l0", ("fp", 3))) != hash_key("agg", ("agg-l1", ("fp", 3)))
+
+
+def test_hash_namespace_differs_from_hash_key():
+    assert hash_namespace("R") != hash_key("R", "R")
+
+
+def test_key_to_unit_coordinates_range_and_determinism():
+    key = hash_key("R", 7)
+    coords = key_to_unit_coordinates(key, 3)
+    assert len(coords) == 3
+    assert all(0.0 <= value < 1.0 for value in coords)
+    assert coords == key_to_unit_coordinates(key, 3)
+
+
+def test_key_to_unit_coordinates_dimensions_are_independent():
+    key = hash_key("R", 7)
+    coords = key_to_unit_coordinates(key, 2)
+    assert coords[0] != coords[1]
+
+
+def test_key_to_unit_coordinates_rejects_bad_dimension():
+    import pytest
+
+    with pytest.raises(ValueError):
+        key_to_unit_coordinates(123, 0)
+
+
+def test_node_identifier_unique_for_small_populations():
+    identifiers = {node_identifier(address) for address in range(2000)}
+    assert len(identifiers) == 2000

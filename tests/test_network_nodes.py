@@ -1,0 +1,213 @@
+"""Unit tests for the Network / Node message fabric, stats and failure injection."""
+
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.net.failures import FailureInjector
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.stats import TrafficStats
+from repro.net.topology import FullMeshTopology
+
+
+def make_network(num_nodes=4, latency=0.1, capacity=float("inf")):
+    return Network(FullMeshTopology(num_nodes, latency_s=latency,
+                                    capacity_bytes_per_s=capacity))
+
+
+# ------------------------------------------------------------------ delivery
+
+
+def test_message_delivered_to_registered_handler():
+    network = make_network()
+    received = []
+    network.node(1).register_handler("test", lambda node, msg: received.append(msg.payload))
+    network.node(0).send(1, "test", payload="hello", payload_bytes=10)
+    network.run_until_idle()
+    assert received == ["hello"]
+
+
+def test_delivery_latency_matches_topology():
+    network = make_network(latency=0.25)
+    times = []
+    network.node(1).register_handler("test", lambda node, msg: times.append(network.now))
+    network.node(0).send(1, "test")
+    network.run_until_idle()
+    assert times == [pytest.approx(0.25)]
+
+
+def test_local_delivery_has_zero_latency_but_is_asynchronous():
+    network = make_network()
+    received = []
+    network.node(0).register_handler("test", lambda node, msg: received.append(network.now))
+    network.node(0).send(0, "test")
+    assert received == []  # not delivered synchronously
+    network.run_until_idle()
+    assert received == [pytest.approx(0.0)]
+
+
+def test_bandwidth_serialisation_delays_large_messages():
+    # 1000 bytes/s inbound; a ~1060-byte message takes ~1.06s to serialise.
+    network = make_network(latency=0.0, capacity=1000.0)
+    times = []
+    network.node(1).register_handler("test", lambda node, msg: times.append(network.now))
+    network.node(0).send(1, "test", payload_bytes=1000)
+    network.run_until_idle()
+    assert times[0] == pytest.approx((1000 + 60) / 1000.0)
+
+
+def test_concurrent_senders_queue_at_receiver_inbound_link():
+    network = make_network(latency=0.0, capacity=1000.0)
+    times = []
+    network.node(2).register_handler("test", lambda node, msg: times.append(network.now))
+    network.node(0).send(2, "test", payload_bytes=940)   # 1000 bytes on wire
+    network.node(1).send(2, "test", payload_bytes=940)
+    network.run_until_idle()
+    assert times[0] == pytest.approx(1.0)
+    assert times[1] == pytest.approx(2.0)
+
+
+def test_message_to_unknown_node_raises():
+    network = make_network(2)
+    with pytest.raises(NetworkError):
+        network.send(Message(src=0, dst=9, protocol="x"))
+
+
+def test_message_without_handler_raises_on_delivery():
+    network = make_network()
+    network.node(0).send(1, "unregistered")
+    with pytest.raises(NetworkError):
+        network.run_until_idle()
+
+
+def test_duplicate_handler_registration_rejected():
+    network = make_network()
+    network.node(0).register_handler("p", lambda n, m: None)
+    with pytest.raises(NetworkError):
+        network.node(0).register_handler("p", lambda n, m: None)
+    network.node(0).replace_handler("p", lambda n, m: None)  # replace is allowed
+
+
+# ------------------------------------------------------------------- failure
+
+
+def test_messages_to_failed_node_are_dropped():
+    network = make_network()
+    received = []
+    network.node(1).register_handler("test", lambda node, msg: received.append(1))
+    network.fail_node(1)
+    network.node(0).send(1, "test")
+    network.run_until_idle()
+    assert received == []
+    assert network.stats.messages_dropped == 1
+
+
+def test_recovered_node_receives_again():
+    network = make_network()
+    received = []
+    network.node(1).register_handler("test", lambda node, msg: received.append(1))
+    network.fail_node(1)
+    network.recover_node(1)
+    network.node(0).send(1, "test")
+    network.run_until_idle()
+    assert received == [1]
+
+
+def test_dead_node_timers_are_skipped():
+    network = make_network()
+    fired = []
+    network.node(1).schedule(1.0, fired.append, "x")
+    network.fail_node(1)
+    network.run_until_idle()
+    assert fired == []
+
+
+def test_live_nodes_listing():
+    network = make_network(5)
+    network.fail_node(2)
+    assert network.live_addresses() == [0, 1, 3, 4]
+
+
+# --------------------------------------------------------------------- stats
+
+
+def test_stats_accumulate_bytes_and_messages():
+    network = make_network()
+    network.node(1).register_handler("test", lambda node, msg: None)
+    network.node(0).send(1, "test", payload_bytes=100)
+    network.node(0).send(1, "test", payload_bytes=200)
+    network.run_until_idle()
+    stats = network.stats
+    assert stats.messages_delivered == 2
+    assert stats.aggregate_traffic_bytes == (100 + 60) + (200 + 60)
+    assert stats.inbound_bytes[1] == stats.aggregate_traffic_bytes
+    assert stats.max_inbound_node() == 1
+
+
+def test_stats_protocol_breakdown_and_reset():
+    stats = TrafficStats()
+    stats.record_delivery(Message(src=0, dst=1, protocol="a.x", payload_bytes=40))
+    stats.record_delivery(Message(src=0, dst=1, protocol="b.y", payload_bytes=40))
+    assert stats.bytes_for_protocol("a.x") == 100
+    assert stats.bytes_for_prefix("a.") == 100
+    snapshot = stats.snapshot()
+    assert snapshot["messages_delivered"] == 2
+    stats.reset()
+    assert stats.aggregate_traffic_bytes == 0
+    assert stats.max_inbound_bytes() == 0
+
+
+# --------------------------------------------------------------- failure injector
+
+
+def test_failure_injector_fails_and_recovers_nodes():
+    network = make_network(6)
+    events = {"fail": [], "detect": [], "recover": []}
+    injector = FailureInjector(
+        network=network,
+        failures_per_minute=0.0,
+        detection_delay_s=2.0,
+        downtime_s=4.0,
+        on_fail=events["fail"].append,
+        on_detect=events["detect"].append,
+        on_recover=events["recover"].append,
+    )
+    injector.fail_now(3)
+    assert not network.node(3).alive
+    network.run(until=3.0)
+    assert events["fail"] == [3]
+    assert events["detect"] == [3]
+    assert events["recover"] == []
+    network.run(until=5.0)
+    assert events["recover"] == [3]
+    assert network.node(3).alive
+
+
+def test_failure_injector_rate_produces_failures():
+    network = make_network(20)
+    injector = FailureInjector(network=network, failures_per_minute=60.0, seed=2)
+    injector.start()
+    network.run(until=60.0)
+    injector.stop()
+    # With a mean of one failure per second over a minute we expect many events.
+    assert len(injector.events) > 20
+    assert injector.failures_in(0.0, 60.0) == len(injector.events)
+
+
+def test_failure_injector_respects_protected_nodes():
+    network = make_network(3)
+    injector = FailureInjector(
+        network=network, failures_per_minute=600.0, seed=3,
+        protect=frozenset({0}),
+    )
+    injector.start()
+    network.run(until=10.0)
+    injector.stop()
+    assert all(event.address != 0 for event in injector.events)
+    assert injector.events  # someone else did fail
+
+
+def test_failure_injector_rejects_negative_rate():
+    network = make_network(2)
+    with pytest.raises(ValueError):
+        FailureInjector(network=network, failures_per_minute=-1.0)

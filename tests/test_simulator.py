@@ -1,0 +1,162 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.net.simulator import Simulator
+
+
+def test_initial_clock_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_initial_clock_can_be_offset():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run_until_idle()
+    assert fired == ["a"]
+    assert sim.now == pytest.approx(1.5)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "late")
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(2.0, order.append, "middle")
+    sim.run_until_idle()
+    assert order == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, label)
+    sim.run_until_idle()
+    assert order == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(4.0, fired.append, "x")
+    sim.run_until_idle()
+    assert sim.now == pytest.approx(4.0)
+    assert fired == ["x"]
+
+
+def test_schedule_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run_until_idle()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_run_until_limit_stops_clock_at_limit():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(10.0, fired.append, "b")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == pytest.approx(5.0)
+    sim.run_until_idle()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_includes_events_exactly_at_limit():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            sim.schedule(1.0, chain, depth + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run_until_idle()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == pytest.approx(6.0)
+
+
+def test_periodic_event_fires_repeatedly_until_cancelled():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule_periodic(2.0, lambda: fired.append(sim.now))
+    sim.run(until=7.0)
+    assert fired == [pytest.approx(2.0), pytest.approx(4.0), pytest.approx(6.0)]
+    handle.cancel()
+    sim.run(until=20.0)
+    assert len(fired) == 3
+
+
+def test_periodic_event_initial_delay():
+    sim = Simulator()
+    fired = []
+    sim.schedule_periodic(5.0, lambda: fired.append(sim.now), initial_delay=1.0)
+    sim.run(until=11.0)
+    assert fired == [pytest.approx(1.0), pytest.approx(6.0), pytest.approx(11.0)]
+
+
+def test_periodic_rejects_non_positive_period():
+    with pytest.raises(SimulationError):
+        Simulator().schedule_periodic(0.0, lambda: None)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    assert sim.events_processed == 4
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run_until_idle()
+
+    sim.schedule(1.0, reenter)
+    sim.run_until_idle()

@@ -1,0 +1,225 @@
+"""Unit tests for the SQL lexer, parser and planner."""
+
+import pytest
+
+from repro.core.catalog import Catalog
+from repro.core.expressions import And, Arithmetic, ColumnRef, Comparison, FunctionCall, Literal
+from repro.core.query import JoinStrategy
+from repro.core.sql import SQLPlanner, parse_sql
+from repro.core.sql.lexer import SQLLexer
+from repro.core.sql.parser import AggregateCall
+from repro.exceptions import PlanError, SQLSyntaxError
+
+
+def monitoring_catalog():
+    catalog = Catalog()
+    catalog.define("intrusions", [("report_id", "int"), ("fingerprint", "str"),
+                                  ("address", "str"), ("port", "int")],
+                   primary_key="report_id")
+    catalog.define("reputation", [("address", "str"), ("weight", "float")],
+                   primary_key="address")
+    catalog.define("R", [("pkey", "int"), ("num1", "int"), ("num2", "float"),
+                         ("num3", "float"), ("pad", "str")], primary_key="pkey")
+    catalog.define("S", [("pkey", "int"), ("num2", "float"), ("num3", "float")],
+                   primary_key="pkey")
+    return catalog
+
+
+# --------------------------------------------------------------------- lexer
+
+
+def test_lexer_tokenises_keywords_identifiers_and_operators():
+    tokens = SQLLexer("SELECT a.b, count(*) FROM t WHERE x >= 10.5").tokenize()
+    kinds = [token.kind for token in tokens]
+    assert kinds[0] == "keyword"
+    assert "identifier" in kinds and "number" in kinds and "operator" in kinds
+    assert kinds[-1] == "eof"
+
+
+def test_lexer_strings_and_unterminated_string():
+    tokens = SQLLexer("SELECT 'hello world' FROM t").tokenize()
+    assert any(token.kind == "string" and token.value == "hello world" for token in tokens)
+    with pytest.raises(SQLSyntaxError):
+        SQLLexer("SELECT 'oops FROM t").tokenize()
+
+
+def test_lexer_rejects_unknown_character():
+    with pytest.raises(SQLSyntaxError):
+        SQLLexer("SELECT a FROM t WHERE x @ 1").tokenize()
+
+
+# -------------------------------------------------------------------- parser
+
+
+def test_parse_simple_select():
+    statement = parse_sql("SELECT R.pkey, S.pkey FROM R, S WHERE R.num1 = S.pkey")
+    assert len(statement.select_items) == 2
+    assert [table.name for table in statement.tables] == ["R", "S"]
+    assert isinstance(statement.where, Comparison)
+
+
+def test_parse_aliases_with_and_without_as():
+    statement = parse_sql("SELECT I.fingerprint FROM intrusions AS I, reputation R")
+    assert statement.tables[0].alias == "I"
+    assert statement.tables[1].alias == "R"
+
+
+def test_parse_group_by_and_having():
+    statement = parse_sql(
+        "SELECT I.fingerprint, count(*) AS cnt FROM intrusions I "
+        "GROUP BY I.fingerprint HAVING cnt > 10"
+    )
+    assert statement.group_by == ["I.fingerprint"]
+    assert isinstance(statement.having, Comparison)
+    aggregate = statement.select_items[1].expression
+    assert isinstance(aggregate, AggregateCall)
+    assert aggregate.function == "count" and aggregate.column is None
+    assert statement.select_items[1].alias == "cnt"
+
+
+def test_parse_arithmetic_over_aggregates():
+    statement = parse_sql(
+        "SELECT count(*) * sum(R.weight) AS wcnt FROM reputation R"
+    )
+    expression = statement.select_items[0].expression
+    assert isinstance(expression, Arithmetic)
+    assert isinstance(expression.left, AggregateCall)
+    assert isinstance(expression.right, AggregateCall)
+
+
+def test_parse_function_call_and_precedence():
+    statement = parse_sql(
+        "SELECT R.pkey FROM R WHERE f(R.num3, 2) > 1 + 2 * 3"
+    )
+    where = statement.where
+    assert isinstance(where.left, FunctionCall)
+    # 1 + 2 * 3 parses as 1 + (2 * 3)
+    assert isinstance(where.right, Arithmetic)
+    assert where.right.op == "+"
+    assert where.right.right.op == "*"
+
+
+def test_parse_and_or_not_structure():
+    statement = parse_sql(
+        "SELECT R.pkey FROM R WHERE NOT R.num2 > 5 AND R.num1 = 1 OR R.num3 < 2"
+    )
+    # OR binds loosest.
+    from repro.core.expressions import Or
+
+    assert isinstance(statement.where, Or)
+
+
+def test_parse_string_and_float_literals():
+    statement = parse_sql("SELECT R.pkey FROM R WHERE R.pad = 'abc' AND R.num2 > 1.5")
+    conjuncts = statement.where.terms
+    assert isinstance(conjuncts[0].right, Literal) and conjuncts[0].right.value == "abc"
+    assert conjuncts[1].right.value == pytest.approx(1.5)
+
+
+def test_parse_errors_are_reported():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT FROM R")
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT R.pkey R, S")  # garbage after select list
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT R.pkey FROM R WHERE")
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT f(*) FROM R")  # star arg only for aggregates
+
+
+# ------------------------------------------------------------------- planner
+
+
+def test_planner_builds_benchmark_join_query():
+    planner = SQLPlanner(monitoring_catalog())
+    query = planner.plan_sql(
+        "SELECT R.pkey, S.pkey, R.pad FROM R, S "
+        "WHERE R.num1 = S.pkey AND R.num2 > 50 AND S.num2 > 50 "
+        "AND f(R.num3, S.num3) > 50",
+        strategy=JoinStrategy.FETCH_MATCHES,
+    )
+    assert query.is_join
+    assert query.join.left_column == "num1" and query.join.right_column == "pkey"
+    assert set(query.local_predicates) == {"R", "S"}
+    assert query.post_join_predicate is not None
+    assert query.output_columns == ["R.pkey", "S.pkey", "R.pad"]
+    assert query.strategy is JoinStrategy.FETCH_MATCHES
+
+
+def test_planner_single_table_aggregation():
+    planner = SQLPlanner(monitoring_catalog())
+    query = planner.plan_sql(
+        "SELECT I.fingerprint, count(*) AS cnt FROM intrusions I "
+        "GROUP BY I.fingerprint HAVING cnt > 10"
+    )
+    assert not query.is_join
+    assert query.distributed_aggregation
+    assert query.group_by == ["I.fingerprint"]
+    assert query.aggregates[0].alias == "cnt"
+    assert query.having is not None
+
+
+def test_planner_join_aggregation_with_derived_column():
+    planner = SQLPlanner(monitoring_catalog())
+    query = planner.plan_sql(
+        "SELECT I.fingerprint, count(*) * sum(R.weight) AS wcnt "
+        "FROM intrusions I, reputation R WHERE R.address = I.address "
+        "GROUP BY I.fingerprint HAVING wcnt > 10"
+    )
+    assert query.is_join and query.is_aggregation
+    assert not query.distributed_aggregation
+    assert "wcnt" in query.derived_columns
+    # The join output must carry everything the initiator needs to aggregate.
+    assert "I.fingerprint" in query.output_columns
+    assert "R.weight" in query.output_columns
+
+
+def test_planner_qualifies_bare_columns():
+    planner = SQLPlanner(monitoring_catalog())
+    query = planner.plan_sql("SELECT fingerprint FROM intrusions I WHERE port > 100")
+    assert query.output_columns == ["I.fingerprint"]
+    assert "I" in query.local_predicates
+
+
+def test_planner_rejects_unknown_table_and_column():
+    planner = SQLPlanner(monitoring_catalog())
+    from repro.exceptions import CatalogError
+
+    with pytest.raises(CatalogError):
+        planner.plan_sql("SELECT x FROM nowhere")
+    with pytest.raises(PlanError):
+        planner.plan_sql("SELECT nonexistent FROM R")
+
+
+def test_planner_rejects_ambiguous_bare_column():
+    planner = SQLPlanner(monitoring_catalog())
+    with pytest.raises(PlanError):
+        planner.plan_sql("SELECT pkey FROM R, S WHERE R.num1 = S.pkey")
+
+
+def test_planner_rejects_cross_join_without_equijoin():
+    planner = SQLPlanner(monitoring_catalog())
+    with pytest.raises(PlanError):
+        planner.plan_sql("SELECT R.pkey FROM R, S WHERE R.num2 > 1")
+
+
+def test_planner_having_with_direct_aggregate_reference():
+    planner = SQLPlanner(monitoring_catalog())
+    query = planner.plan_sql(
+        "SELECT I.fingerprint, count(*) AS cnt FROM intrusions I "
+        "GROUP BY I.fingerprint HAVING count(*) > 3"
+    )
+    # The HAVING aggregate is unified with the SELECT aggregate.
+    assert len(query.aggregates) == 1
+    assert query.having is not None
+
+
+def test_planner_passes_query_options_through():
+    planner = SQLPlanner(monitoring_catalog())
+    query = planner.plan_sql(
+        "SELECT R.pkey, S.pkey FROM R, S WHERE R.num1 = S.pkey",
+        result_tuple_bytes=512,
+        collection_window_s=9.0,
+    )
+    assert query.result_tuple_bytes == 512
+    assert query.collection_window_s == 9.0

@@ -1,0 +1,147 @@
+"""Unit tests for the storage manager and soft-state renewal."""
+
+import pytest
+
+from repro.dht.storage import StorageManager, StoredItem
+from repro.exceptions import StorageError
+
+
+def make_item(namespace="ns", resource="r1", instance=1, value="v", expires=100.0,
+              key=0, publisher=None, size=50):
+    return StoredItem(
+        namespace=namespace, resource_id=resource, instance_id=instance,
+        value=value, key=key, expires_at=expires, publisher=publisher,
+        size_bytes=size,
+    )
+
+
+# ---------------------------------------------------------------- store/get
+
+
+def test_store_and_retrieve():
+    storage = StorageManager()
+    storage.store(make_item(value="hello"))
+    items = storage.retrieve("ns", "r1", now=0.0)
+    assert len(items) == 1
+    assert items[0].value == "hello"
+
+
+def test_retrieve_returns_all_instances_of_same_resource():
+    storage = StorageManager()
+    storage.store(make_item(instance=1, value="a"))
+    storage.store(make_item(instance=2, value="b"))
+    values = {item.value for item in storage.retrieve("ns", "r1", now=0.0)}
+    assert values == {"a", "b"}
+
+
+def test_store_same_triple_overwrites():
+    storage = StorageManager()
+    storage.store(make_item(instance=1, value="old"))
+    storage.store(make_item(instance=1, value="new"))
+    items = storage.retrieve("ns", "r1", now=0.0)
+    assert len(items) == 1
+    assert items[0].value == "new"
+
+
+def test_retrieve_unknown_resource_is_empty():
+    storage = StorageManager()
+    assert storage.retrieve("ns", "missing", now=0.0) == []
+
+
+def test_store_rejects_non_items():
+    storage = StorageManager()
+    with pytest.raises(StorageError):
+        storage.store({"not": "an item"})
+
+
+# -------------------------------------------------------------------- remove
+
+
+def test_remove_specific_instance():
+    storage = StorageManager()
+    storage.store(make_item(instance=1))
+    storage.store(make_item(instance=2))
+    assert storage.remove("ns", "r1", instance_id=1) == 1
+    assert len(storage.retrieve("ns", "r1", now=0.0)) == 1
+
+
+def test_remove_all_instances_of_resource():
+    storage = StorageManager()
+    storage.store(make_item(instance=1))
+    storage.store(make_item(instance=2))
+    assert storage.remove("ns", "r1") == 2
+    assert storage.retrieve("ns", "r1", now=0.0) == []
+
+
+def test_remove_missing_returns_zero():
+    storage = StorageManager()
+    assert storage.remove("ns", "nothing") == 0
+
+
+# ---------------------------------------------------------------------- scan
+
+
+def test_scan_iterates_only_requested_namespace():
+    storage = StorageManager()
+    storage.store(make_item(namespace="a", resource="x", instance=1))
+    storage.store(make_item(namespace="b", resource="y", instance=2))
+    assert {item.namespace for item in storage.scan("a", now=0.0)} == {"a"}
+    assert storage.count("a") == 1
+    assert storage.namespaces() == ["a", "b"]
+
+
+def test_scan_skips_and_purges_expired_items():
+    storage = StorageManager()
+    storage.store(make_item(resource="fresh", instance=1, expires=100.0))
+    storage.store(make_item(resource="stale", instance=2, expires=10.0))
+    live = list(storage.scan("ns", now=50.0))
+    assert [item.resource_id for item in live] == ["fresh"]
+    assert len(storage) == 1  # the stale item was dropped during the scan
+
+
+# ----------------------------------------------------------------- soft state
+
+
+def test_expire_items_drops_only_expired():
+    storage = StorageManager()
+    storage.store(make_item(resource="a", instance=1, expires=10.0))
+    storage.store(make_item(resource="b", instance=2, expires=100.0))
+    assert storage.expire_items(now=50.0) == 1
+    assert len(storage) == 1
+
+
+def test_retrieve_hides_expired_items():
+    storage = StorageManager()
+    storage.store(make_item(expires=5.0))
+    assert storage.retrieve("ns", "r1", now=10.0) == []
+
+
+def test_item_not_expired_exactly_at_deadline():
+    item = make_item(expires=5.0)
+    assert not item.is_expired(5.0)
+    assert item.is_expired(5.0001)
+
+
+# ----------------------------------------------------------------- migration
+
+
+def test_extract_and_install_move_items_by_key_predicate():
+    storage = StorageManager()
+    storage.store(make_item(resource="low", instance=1, key=10))
+    storage.store(make_item(resource="high", instance=2, key=1000))
+    moved = storage.extract(lambda key: key >= 500)
+    assert [item.resource_id for item in moved] == ["high"]
+    assert len(storage) == 1
+
+    other = StorageManager()
+    other.install(moved)
+    assert other.retrieve("ns", "high", now=0.0)
+
+
+def test_clear_drops_everything():
+    storage = StorageManager()
+    storage.store(make_item(instance=1))
+    storage.store(make_item(instance=2, resource="other"))
+    assert storage.clear() == 2
+    assert len(storage) == 0
+    assert storage.namespaces() == []

@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import JoinWorkload, NetworkMonitoringWorkload, WorkloadConfig
+
+
+def test_workload_cardinalities_follow_ratio():
+    config = WorkloadConfig(num_nodes=10, s_tuples_per_node=4, r_to_s_ratio=10)
+    workload = JoinWorkload(config)
+    total_s = sum(len(rows) for rows in workload.s_by_node.values())
+    total_r = sum(len(rows) for rows in workload.r_by_node.values())
+    assert total_s == 40
+    assert total_r == 400
+
+
+def test_workload_is_deterministic_for_seed():
+    a = JoinWorkload(WorkloadConfig(num_nodes=6, s_tuples_per_node=2, seed=9))
+    b = JoinWorkload(WorkloadConfig(num_nodes=6, s_tuples_per_node=2, seed=9))
+    assert a.r_by_node == b.r_by_node
+    assert a.s_by_node == b.s_by_node
+
+
+def test_workload_different_seed_differs():
+    a = JoinWorkload(WorkloadConfig(num_nodes=6, s_tuples_per_node=2, seed=1))
+    b = JoinWorkload(WorkloadConfig(num_nodes=6, s_tuples_per_node=2, seed=2))
+    assert a.r_by_node != b.r_by_node
+
+
+def test_workload_rows_conform_to_schemas():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=5, s_tuples_per_node=2))
+    for _publisher, row in workload.all_r_rows():
+        workload.r_relation.validate(row)
+    for _publisher, row in workload.all_s_rows():
+        workload.s_relation.validate(row)
+
+
+def test_match_fraction_controls_join_hits():
+    matched = JoinWorkload(WorkloadConfig(num_nodes=8, s_tuples_per_node=5,
+                                          match_fraction=1.0, seed=3))
+    unmatched = JoinWorkload(WorkloadConfig(num_nodes=8, s_tuples_per_node=5,
+                                            match_fraction=0.0, seed=3))
+    total_s = matched.config.total_s_tuples
+    assert all(row["num1"] < total_s for _p, row in matched.all_r_rows())
+    assert all(row["num1"] >= total_s for _p, row in unmatched.all_r_rows())
+    assert unmatched.expected_result_count() == 0
+
+
+def test_predicate_constants_track_selectivity():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=4, s_tuples_per_node=2,
+                                           r_selectivity=0.3, s_selectivity=0.7))
+    c1, c2, _c3 = workload.predicate_constants()
+    assert c1 == pytest.approx(70.0)
+    assert c2 == pytest.approx(30.0)
+    _c1, c2_override, _ = workload.predicate_constants(s_selectivity=0.2)
+    assert c2_override == pytest.approx(80.0)
+
+
+def test_expected_results_grow_with_selectivity():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=12, s_tuples_per_node=4, seed=2))
+    low = workload.expected_result_count(s_selectivity=0.2)
+    high = workload.expected_result_count(s_selectivity=1.0)
+    assert high >= low
+
+
+def test_expected_results_respect_live_publishers():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=10, s_tuples_per_node=3, seed=4))
+    everyone = workload.expected_results()
+    half = workload.expected_results(live_publishers=set(range(5)))
+    assert len(half) <= len(everyone)
+
+
+def test_selected_data_bytes_scales_with_selectivity():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=10, s_tuples_per_node=3, seed=4))
+    assert workload.selected_data_bytes(s_selectivity=1.0) >= \
+        workload.selected_data_bytes(s_selectivity=0.1)
+
+
+def test_workload_query_and_sql_round_trip():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=4, s_tuples_per_node=2))
+    query = workload.make_query()
+    assert query.is_join
+    assert query.output_columns == ["R.pkey", "S.pkey", "R.pad"]
+    text = workload.sql_text()
+    assert "R.num1 = S.pkey" in text
+
+
+def test_workload_config_validation():
+    with pytest.raises(WorkloadError):
+        WorkloadConfig(num_nodes=0)
+    with pytest.raises(WorkloadError):
+        WorkloadConfig(num_nodes=4, r_selectivity=1.5)
+    with pytest.raises(WorkloadError):
+        WorkloadConfig(num_nodes=4, s_tuples_per_node=-1)
+
+
+def test_catalog_contains_both_relations():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=4, s_tuples_per_node=1))
+    catalog = workload.catalog()
+    assert "R" in catalog and "S" in catalog
+
+
+# ------------------------------------------------------- network monitoring
+
+
+def test_monitoring_rows_conform_to_schemas():
+    workload = NetworkMonitoringWorkload(num_nodes=12, seed=2)
+    for node, rows in workload.intrusions_by_node.items():
+        for row in rows:
+            workload.intrusions.validate(row)
+    for node, rows in workload.reputation_by_node.items():
+        for row in rows:
+            workload.reputation.validate(row)
+
+
+def test_monitoring_hot_fingerprints_exceed_threshold():
+    workload = NetworkMonitoringWorkload(num_nodes=40, intrusions_per_node=6, seed=3)
+    summary = dict(workload.expected_attack_summary(10))
+    assert summary, "expected at least one widespread fingerprint"
+    assert all(count > 10 for count in summary.values())
+
+
+def test_monitoring_expected_compromised_sources_is_consistent():
+    workload = NetworkMonitoringWorkload(num_nodes=60, seed=6)
+    sources = workload.expected_compromised_sources()
+    spam_sources = {
+        row["source"] for rows in workload.spam_by_node.values() for row in rows
+    }
+    assert set(sources) <= spam_sources
+
+
+def test_monitoring_rows_by_node_accessor():
+    workload = NetworkMonitoringWorkload(num_nodes=5, seed=1)
+    assert workload.rows_by_node("intrusions") is workload.intrusions_by_node
+    with pytest.raises(WorkloadError):
+        workload.rows_by_node("nonexistent")
+
+
+def test_monitoring_rejects_zero_nodes():
+    with pytest.raises(WorkloadError):
+        NetworkMonitoringWorkload(num_nodes=0)
