@@ -9,7 +9,7 @@ and compares each against its closed-form prediction.
 
 import statistics
 
-from bench_common import report, scaled
+from bench_common import node_axis, report
 from repro.dht.can import CanNetworkBuilder
 from repro.dht.chord import ChordNetworkBuilder
 from repro.dht.naming import hash_key
@@ -31,7 +31,7 @@ def measure_hops(builder, network, routings) -> float:
 
 def sweep():
     rows = []
-    for num_nodes in (scaled(64), scaled(256), scaled(1024)):
+    for num_nodes in node_axis((64, 256, 1024)):
         for label, make_builder, predicted in (
             ("can d=2", lambda: CanNetworkBuilder(dimensions=2),
              analytical.can_average_hops(1, 2)),
@@ -82,3 +82,13 @@ def test_ablation_dht_hops(benchmark):
     growth_chord = hops("chord", large) / max(hops("chord", small), 0.5)
     growth_can = hops("can d=2", large) / max(hops("can d=2", small), 0.5)
     assert growth_chord < growth_can
+
+
+def main(argv=None):
+    from bench_common import run_main
+    run_main("ablation_dht_hops",
+             "Ablation: average lookup hops vs. network size, by DHT", sweep, argv)
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,7 @@ nodes; this ablation quantifies the trade-off: the group owner's inbound
 load drops, at the cost of an extra hop of latency.
 """
 
-from bench_common import report, scaled
+from bench_common import bench_seed, report, scaled
 from repro.core.query import AggregateSpec, QuerySpec, TableRef
 from repro.harness import PierNetwork, SimulationConfig, run_query
 from repro.workloads import NetworkMonitoringWorkload
@@ -16,8 +16,9 @@ from repro.workloads import NetworkMonitoringWorkload
 
 def run_once(hierarchical: bool):
     num_nodes = scaled(64)
-    workload = NetworkMonitoringWorkload(num_nodes=num_nodes, intrusions_per_node=8, seed=11)
-    pier = PierNetwork(SimulationConfig(num_nodes=num_nodes, seed=11))
+    seed = bench_seed(11)
+    workload = NetworkMonitoringWorkload(num_nodes=num_nodes, intrusions_per_node=8, seed=seed)
+    pier = PierNetwork(SimulationConfig(num_nodes=num_nodes, seed=seed))
     pier.load_relation(workload.intrusions, workload.intrusions_by_node)
     query = QuerySpec(
         tables=[TableRef(workload.intrusions, "I")],
@@ -53,3 +54,13 @@ def test_ablation_hierarchical_aggregation(benchmark):
     assert tree["owner_inbound_kb"] < flat["owner_inbound_kb"]
     # The price is an extra aggregation stage, so the answer arrives later.
     assert tree["t_result_s"] >= flat["t_result_s"]
+
+
+def main(argv=None):
+    from bench_common import run_main
+    run_main("ablation_hierarchical_agg",
+             "Ablation: flat vs. hierarchical aggregation", sweep, argv)
+
+
+if __name__ == "__main__":
+    main()

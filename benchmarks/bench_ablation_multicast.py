@@ -8,7 +8,7 @@ costs, as a function of network size and DHT, and compares the latency
 against the closed-form overlay-diameter estimate.
 """
 
-from bench_common import report, scaled
+from bench_common import node_axis, report
 from repro.dht.can import CanNetworkBuilder
 from repro.dht.chord import ChordNetworkBuilder
 from repro.dht.multicast import MulticastService
@@ -51,7 +51,7 @@ def measure(num_nodes: int, dht: str):
 
 def sweep():
     rows = []
-    for num_nodes in (scaled(16), scaled(64), scaled(256), scaled(1024)):
+    for num_nodes in node_axis((16, 64, 256, 1024)):
         for dht in ("can", "chord"):
             rows.append(measure(num_nodes, dht))
     return rows
@@ -77,3 +77,13 @@ def test_ablation_multicast(benchmark):
         can_rows[largest]["model_time_s"], 0.5)
     # Chord's finger graph floods in fewer hops than CAN's grid at scale.
     assert chord_rows[largest]["time_to_all_s"] <= can_rows[largest]["time_to_all_s"]
+
+
+def main(argv=None):
+    from bench_common import run_main
+    run_main("ablation_multicast",
+             "Ablation: multicast dissemination latency and message cost", sweep, argv)
+
+
+if __name__ == "__main__":
+    main()

@@ -81,3 +81,13 @@ def test_fig4_traffic_vs_selectivity(benchmark):
     # advantage over symmetric hash erodes as selectivity rises.
     assert bloom[low] < 0.8 * shj[low]
     assert (bloom[high] / shj[high]) > (bloom[low] / shj[low])
+
+
+def main(argv=None):
+    from bench_common import run_main
+    run_main("fig4_traffic_vs_selectivity",
+             "Figure 4: aggregate network traffic vs. selectivity", sweep, argv)
+
+
+if __name__ == "__main__":
+    main()

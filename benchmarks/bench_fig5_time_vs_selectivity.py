@@ -74,3 +74,13 @@ def test_fig5_time_vs_selectivity(benchmark):
         return max(values) / min(values)
 
     assert spread(high) <= spread(low) * 1.5
+
+
+def main(argv=None):
+    from bench_common import run_main
+    run_main("fig5_time_vs_selectivity",
+             "Figure 5: time to k-th result tuple vs. selectivity", sweep, argv)
+
+
+if __name__ == "__main__":
+    main()

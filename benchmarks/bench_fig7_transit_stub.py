@@ -7,12 +7,13 @@ topology, just with larger absolute times because the average end-to-end
 delay is higher.  This benchmark checks both properties.
 """
 
-from bench_common import build_loaded_network, report, run_benchmark_query, scaled
+from bench_common import (build_loaded_network, node_axis, report,
+                          run_benchmark_query)
 from repro.core.query import JoinStrategy
 
 
 def sweep():
-    node_counts = [scaled(count) for count in (4, 16, 64, 128)]
+    node_counts = node_axis((4, 16, 64, 128))
     rows = []
     for num_nodes in node_counts:
         for label, computation in (("1", [1]), ("N", None)):
@@ -72,3 +73,13 @@ def test_fig7_transit_stub(benchmark):
     full_mesh = next(row["t_30th_s"] for row in rows
                      if row["topology"] == "full_mesh")
     assert stub_all[largest] > full_mesh
+
+
+def main(argv=None):
+    from bench_common import run_main
+    run_main("fig7_transit_stub",
+             "Figure 7: transit-stub topology scale-up", sweep, argv)
+
+
+if __name__ == "__main__":
+    main()

@@ -74,3 +74,17 @@ def test_sec53_centralized_vs_distributed(benchmark):
     one, all_nodes = simulated
     assert one["results"] == all_nodes["results"]
     assert one["hot_node_inbound_mb"] > 2.0 * all_nodes["hot_node_inbound_mb"]
+
+
+def main(argv=None):
+    from bench_common import parse_args
+    parse_args(argv)
+    report("sec53_analytic",
+           "Section 5.3 (analytic, paper scale: 1024 nodes, 1 GB, 50% selectivity)",
+           paper_scale_rows())
+    report("sec53_simulated",
+           "Section 5.3 (simulated, scaled down)", simulated_rows())
+
+
+if __name__ == "__main__":
+    main()

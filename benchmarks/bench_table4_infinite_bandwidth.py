@@ -64,3 +64,14 @@ def test_table4_infinite_bandwidth(benchmark):
     assert measured["fetch_matches"] <= measured["symmetric_semi_join"] * 1.05
     assert measured["symmetric_semi_join"] < measured["bloom"]
     assert measured["bloom"] > 1.3 * measured["symmetric_hash"]
+
+
+def main(argv=None):
+    from bench_common import run_main
+    run_main("table4_infinite_bandwidth",
+             "Table 4: time to last result tuple, infinite bandwidth",
+             run_all_strategies, argv)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable
 
 
 class BloomFilter:

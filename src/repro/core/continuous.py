@@ -18,7 +18,7 @@ provides two building blocks:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.expressions import And, Comparison, Expression, col, lit

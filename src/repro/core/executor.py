@@ -271,19 +271,30 @@ class QueryExecutor:
         for alias in query.aliases:
             self._rehash_table(query, alias, rehash_namespace)
 
-    def _put_fragment(self, query: QuerySpec, namespace: str, resource_id,
-                      value: dict, item_bytes: int) -> None:
-        """Publish a temporary query fragment, honouring computation-node limits."""
+    def _put_fragments(self, query: QuerySpec, namespace: str,
+                       entries: List[Tuple], item_bytes: int) -> None:
+        """Publish temporary query fragments, honouring computation-node limits.
+
+        ``entries`` are ``(resource_id, value)`` pairs; the whole batch is
+        published through the Provider's batch interface so fragments sharing
+        a destination travel in one message.
+        """
+        if not entries:
+            return
         if query.computation_nodes:
             nodes = query.computation_nodes
-            target = nodes[hash_key(namespace, resource_id) % len(nodes)]
-            self.provider.put_direct(
-                target, namespace, resource_id, None, value,
-                lifetime=query.temp_lifetime_s, item_bytes=item_bytes,
-            )
+            by_target: Dict[int, List[Tuple]] = {}
+            for resource_id, value in entries:
+                target = nodes[hash_key(namespace, resource_id) % len(nodes)]
+                by_target.setdefault(target, []).append((resource_id, value))
+            for target, group in by_target.items():
+                self.provider.put_direct_batch(
+                    target, namespace, group,
+                    lifetime=query.temp_lifetime_s, item_bytes=item_bytes,
+                )
         else:
-            self.provider.put(
-                namespace, resource_id, None, value,
+            self.provider.put_batch(
+                namespace, entries,
                 lifetime=query.temp_lifetime_s, item_bytes=item_bytes,
             )
 
@@ -294,17 +305,14 @@ class QueryExecutor:
         scan.run()
         key_column = query.join.key_column(alias)
         item_bytes = query.projected_tuple_bytes(alias)
-        rehashed = 0
+        entries: List[Tuple] = []
         for row in collector.rows:
             join_value = row[key_column]
             if bloom_filter is not None and join_value not in bloom_filter:
                 continue
-            self._put_fragment(
-                query, rehash_namespace, join_value,
-                {"side": alias, "row": row}, item_bytes,
-            )
-            rehashed += 1
-        return rehashed
+            entries.append((join_value, {"side": alias, "row": row}))
+        self._put_fragments(query, rehash_namespace, entries, item_bytes)
+        return len(entries)
 
     def _register_probe(self, query: QuerySpec, rehash_namespace: str,
                         semi_join: bool = False) -> None:
@@ -400,13 +408,28 @@ class QueryExecutor:
         scan.run()
         fetch_relation = query.table(fetch_alias).relation
         key_column = query.join.key_column(scan_alias)
+        if not self.provider.batching:
+            # Seed pattern: one get per scanned row, duplicates included.
+            for row in collector.rows:
+                self.provider.get(
+                    fetch_relation.namespace, row[key_column],
+                    lambda items, row=row: self._on_fetch_matches_reply(
+                        query, scan_alias, fetch_alias, row, items),
+                )
+            return
+        rows_by_value: Dict[Any, List[dict]] = {}
         for row in collector.rows:
-            join_value = row[key_column]
+            rows_by_value.setdefault(row[key_column], []).append(row)
+        if not rows_by_value:
+            return
 
-            def _on_fetch(items, row=row) -> None:
+        def _on_fetch(join_value, items) -> None:
+            for row in rows_by_value.get(join_value, ()):
                 self._on_fetch_matches_reply(query, scan_alias, fetch_alias, row, items)
 
-            self.provider.get(fetch_relation.namespace, join_value, _on_fetch)
+        # One get per distinct join value, grouped by owner on the wire.
+        self.provider.get_batch(fetch_relation.namespace,
+                                list(rows_by_value), _on_fetch)
 
     def _on_fetch_matches_reply(self, query: QuerySpec, scan_alias: str,
                                 fetch_alias: str, scan_row: dict,
@@ -441,11 +464,11 @@ class QueryExecutor:
             scan.run()
             # Only resourceID + join key cross the network in this phase.
             item_bytes = 8 * len(projection) + 8
-            for row in collector.rows:
-                self._put_fragment(
-                    query, rehash_namespace, row[key_column],
-                    {"side": alias, "row": row}, item_bytes,
-                )
+            entries = [
+                (row[key_column], {"side": alias, "row": row})
+                for row in collector.rows
+            ]
+            self._put_fragments(query, rehash_namespace, entries, item_bytes)
 
     def _fetch_semi_join_pair(self, query: QuerySpec, left_projection: dict,
                               right_projection: dict) -> None:
@@ -527,11 +550,9 @@ class QueryExecutor:
         key_column = query.join.key_column(alias)
         bloom = BloomFilter(query.bloom_bits, query.bloom_hashes)
         bloom.update(row[key_column] for row in collector.rows)
-        self.provider.put(
+        self.provider.put_batch(
             query.bloom_namespace(alias),
-            "collector",
-            None,
-            bloom,
+            [("collector", bloom)],
             lifetime=query.temp_lifetime_s,
             item_bytes=bloom.size_bytes,
         )
@@ -541,6 +562,7 @@ class QueryExecutor:
         state = self._states.get(query.query_id)
         if state is None:
             return
+        summaries: List[Tuple[str, Any, Any, int]] = []
         for alias in query.aliases:
             accumulator: Optional[BloomFilter] = None
             for item in self.provider.lscan(query.bloom_namespace(alias)):
@@ -553,12 +575,15 @@ class QueryExecutor:
                     accumulator.union_in_place(incoming)
             if accumulator is None or accumulator.is_empty():
                 continue
-            self.provider.multicast(
+            summaries.append((
                 self._bloom_distribution_namespace(query, alias),
                 "filter",
                 accumulator,
-                payload_bytes=accumulator.size_bytes,
-            )
+                accumulator.size_bytes,
+            ))
+        if summaries:
+            # Both sides' summaries share one flood wave over the overlay.
+            self.provider.multicast_batch(summaries)
 
     def _on_bloom_filter(self, query: QuerySpec, filtered_alias: str,
                          bloom: BloomFilter) -> None:
@@ -585,28 +610,28 @@ class QueryExecutor:
         payloads = partial.partial_payloads()
         if query.hierarchical_aggregation:
             bucket = aggregation_tree.combiner_bucket(self.node.address, query.query_id)
-            for group_key, states in payloads.items():
-                self.provider.put(
-                    namespace,
-                    aggregation_tree.level1_resource_id(bucket, group_key),
-                    None,
-                    {"group": group_key, "partials": states, "level": 1},
-                    lifetime=query.temp_lifetime_s,
-                    item_bytes=PARTIAL_STATE_BYTES,
-                )
+            entries = [
+                (aggregation_tree.level1_resource_id(bucket, group_key),
+                 {"group": group_key, "partials": states, "level": 1})
+                for group_key, states in payloads.items()
+            ]
+            self.provider.put_batch(
+                namespace, entries,
+                lifetime=query.temp_lifetime_s, item_bytes=PARTIAL_STATE_BYTES,
+            )
             self.node.schedule(
                 query.collection_window_s * 0.6, self._flush_combiners, query
             )
         else:
-            for group_key, states in payloads.items():
-                self.provider.put(
-                    namespace,
-                    aggregation_tree.level0_resource_id(group_key),
-                    None,
-                    {"group": group_key, "partials": states, "level": 0},
-                    lifetime=query.temp_lifetime_s,
-                    item_bytes=PARTIAL_STATE_BYTES,
-                )
+            entries = [
+                (aggregation_tree.level0_resource_id(group_key),
+                 {"group": group_key, "partials": states, "level": 0})
+                for group_key, states in payloads.items()
+            ]
+            self.provider.put_batch(
+                namespace, entries,
+                lifetime=query.temp_lifetime_s, item_bytes=PARTIAL_STATE_BYTES,
+            )
         # The hierarchical path needs headroom for the extra combiner->owner
         # hop before the final flush.
         final_delay = query.collection_window_s * (1.3 if query.hierarchical_aggregation else 1.0)
@@ -626,15 +651,17 @@ class QueryExecutor:
                 merger = build_final_aggregation(query)
                 combined[group_key] = merger
             merger.merge_partial(group_key, value["partials"])
-        for group_key, merger in combined.items():
-            payloads = merger.partial_payloads()[group_key]
-            self.provider.put(
-                namespace,
-                aggregation_tree.level0_resource_id(group_key),
-                None,
-                {"group": group_key, "partials": payloads, "level": 0},
-                lifetime=query.temp_lifetime_s,
-                item_bytes=PARTIAL_STATE_BYTES,
+        entries = [
+            (aggregation_tree.level0_resource_id(group_key),
+             {"group": group_key,
+              "partials": merger.partial_payloads()[group_key],
+              "level": 0})
+            for group_key, merger in combined.items()
+        ]
+        if entries:
+            self.provider.put_batch(
+                namespace, entries,
+                lifetime=query.temp_lifetime_s, item_bytes=PARTIAL_STATE_BYTES,
             )
 
     def _flush_aggregation(self, query: QuerySpec) -> None:

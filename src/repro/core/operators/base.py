@@ -73,7 +73,14 @@ class Operator:
     # ----------------------------------------------------------------- flow
 
     def push(self, row: Row) -> None:
-        """Feed one input row into the operator."""
+        """Feed one input row into the operator.
+
+        ``push`` is the single counting point for ``rows_in``: ``process``
+        implementations must not adjust the counter.  Operators with extra
+        public entrypoints that bypass ``push`` (e.g. the join's
+        ``push_left``/``push_right``) count those inputs themselves and route
+        the actual work through uncounted internal methods.
+        """
         self.rows_in += 1
         self.process(row)
 

@@ -48,31 +48,40 @@ class SymmetricHashJoin(Operator):
     def push_left(self, row: Row) -> None:
         """Feed one row from the left (build + probe against right)."""
         self.rows_in += 1
+        self._ingest_left(row)
+
+    def push_right(self, row: Row) -> None:
+        """Feed one row from the right (build + probe against left)."""
+        self.rows_in += 1
+        self._ingest_right(row)
+
+    def process(self, row: Row) -> None:
+        """Handle a pre-tagged row: ``row["side"]`` must be ``"left"``/``"right"``.
+
+        ``Operator.push`` has already counted the row, so this dispatches to
+        the uncounted ingest paths; the public ``push_left``/``push_right``
+        entrypoints do their own counting because they bypass ``push``.
+        """
+        side = row.get("side")
+        payload = row.get("row", row)
+        if side == "left":
+            self._ingest_left(payload)
+        elif side == "right":
+            self._ingest_right(payload)
+        else:
+            raise ValueError("untagged row pushed into SymmetricHashJoin")
+
+    def _ingest_left(self, row: Row) -> None:
         key = self.left_key(row)
         for match in self._right_table.get(key, ()):
             self._emit_pair(row, match)
         self._left_table[key].append(row)
 
-    def push_right(self, row: Row) -> None:
-        """Feed one row from the right (build + probe against left)."""
-        self.rows_in += 1
+    def _ingest_right(self, row: Row) -> None:
         key = self.right_key(row)
         for match in self._left_table.get(key, ()):
             self._emit_pair(match, row)
         self._right_table[key].append(row)
-
-    def process(self, row: Row) -> None:
-        """Push a pre-tagged row: ``row["side"]`` must be ``"left"``/``"right"``."""
-        side = row.get("side")
-        payload = row.get("row", row)
-        if side == "left":
-            self.rows_in -= 1  # push() already counted it
-            self.push_left(payload)
-        elif side == "right":
-            self.rows_in -= 1
-            self.push_right(payload)
-        else:
-            raise ValueError("untagged row pushed into SymmetricHashJoin")
 
     # ----------------------------------------------------------------- emit
 

@@ -10,7 +10,7 @@ entries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional
 
 from repro.core.expressions import (
     And,

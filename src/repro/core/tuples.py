@@ -11,7 +11,7 @@ key, exactly as the paper's query processor does).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SchemaError

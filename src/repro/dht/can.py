@@ -156,7 +156,9 @@ class CanRouting(RoutingLayer):
     """
 
     PROTOCOL_ROUTE = "can.route"
+    PROTOCOL_ROUTE_BATCH = "can.route_batch"
     PROTOCOL_LOOKUP_REPLY = "can.lookup_reply"
+    PROTOCOL_BATCH_LOOKUP_REPLY = "can.batch_lookup_reply"
     PROTOCOL_JOIN_REPLY = "can.join_reply"
     PROTOCOL_NEIGHBOR_UPDATE = "can.neighbor_update"
     PROTOCOL_LEAVE_HANDOFF = "can.leave_handoff"
@@ -173,17 +175,21 @@ class CanRouting(RoutingLayer):
         self._rng = random.Random((seed << 20) ^ node.address)
         self._pending_lookups: Dict[int, LookupCallback] = {}
         self._lookup_ids = itertools.count(1)
-        self.lookup_hops_observed: List[int] = []
         #: Hooks installed by the Provider for item migration on join/leave.
         self.extract_items: Optional[Callable[[Callable[[int], bool]], list]] = None
         self.install_items: Optional[Callable[[list], None]] = None
 
         node.register_handler(self.PROTOCOL_ROUTE, self._on_route)
+        node.register_handler(self.PROTOCOL_ROUTE_BATCH, self._on_route_batch)
         node.register_handler(self.PROTOCOL_LOOKUP_REPLY, self._on_lookup_reply)
+        node.register_handler(self.PROTOCOL_BATCH_LOOKUP_REPLY,
+                              self._on_batch_lookup_reply)
         node.register_handler(self.PROTOCOL_JOIN_REPLY, self._on_join_reply)
         node.register_handler(self.PROTOCOL_NEIGHBOR_UPDATE, self._on_neighbor_update)
         node.register_handler(self.PROTOCOL_LEAVE_HANDOFF, self._on_leave_handoff)
         node.register_bounce_handler(self.PROTOCOL_ROUTE, self._on_route_bounce)
+        node.register_bounce_handler(self.PROTOCOL_ROUTE_BATCH,
+                                     self._on_route_batch_bounce)
 
     # --------------------------------------------------------------- mapping
 
@@ -322,6 +328,19 @@ class CanRouting(RoutingLayer):
             return
         self.lookup_hops_observed.append(payload.get("hops", 0))
         callback(payload["owner"])
+
+    # -------------------------------------------- batch lookup geometry hooks
+    # The generic batch machinery (request bookkeeping, per-hop partitioning,
+    # owner replies, unresolved-key reporting) lives in RoutingLayer.
+
+    def _batch_entry(self, key: int) -> dict:
+        return {"key": key, "point": self.key_to_point(key)}
+
+    def _batch_entry_owned(self, entry: dict) -> bool:
+        return self.owns_point(entry["point"])
+
+    def _batch_next_hop(self, entry: dict, exclude: Optional[int]) -> Optional[int]:
+        return self._best_next_hop(entry["point"], exclude=exclude)
 
     # --------------------------------------------------------------- joining
 

@@ -21,7 +21,7 @@ import itertools
 from typing import Dict, List, Optional, Sequence
 
 from repro.dht.api import LookupCallback, RoutingLayer
-from repro.dht.naming import KEY_BITS, KEY_SPACE, node_identifier
+from repro.dht.naming import KEY_BITS, node_identifier
 from repro.net.network import Network
 from repro.net.node import Node
 
@@ -50,7 +50,9 @@ class ChordRouting(RoutingLayer):
     """Chord routing layer instance bound to one node."""
 
     PROTOCOL_ROUTE = "chord.route"
+    PROTOCOL_ROUTE_BATCH = "chord.route_batch"
     PROTOCOL_LOOKUP_REPLY = "chord.lookup_reply"
+    PROTOCOL_BATCH_LOOKUP_REPLY = "chord.batch_lookup_reply"
     PROTOCOL_JOIN_REPLY = "chord.join_reply"
     PROTOCOL_NOTIFY = "chord.notify"
     PROTOCOL_LEAVE = "chord.leave"
@@ -67,16 +69,20 @@ class ChordRouting(RoutingLayer):
         self._dead: set[int] = set()
         self._pending_lookups: Dict[int, LookupCallback] = {}
         self._lookup_ids = itertools.count(1)
-        self.lookup_hops_observed: List[int] = []
         self.extract_items = None
         self.install_items = None
 
         node.register_handler(self.PROTOCOL_ROUTE, self._on_route)
+        node.register_handler(self.PROTOCOL_ROUTE_BATCH, self._on_route_batch)
         node.register_handler(self.PROTOCOL_LOOKUP_REPLY, self._on_lookup_reply)
+        node.register_handler(self.PROTOCOL_BATCH_LOOKUP_REPLY,
+                              self._on_batch_lookup_reply)
         node.register_handler(self.PROTOCOL_JOIN_REPLY, self._on_join_reply)
         node.register_handler(self.PROTOCOL_NOTIFY, self._on_notify)
         node.register_handler(self.PROTOCOL_LEAVE, self._on_leave)
         node.register_bounce_handler(self.PROTOCOL_ROUTE, self._on_route_bounce)
+        node.register_bounce_handler(self.PROTOCOL_ROUTE_BATCH,
+                                     self._on_route_batch_bounce)
 
     # --------------------------------------------------------------- helpers
 
@@ -205,6 +211,24 @@ class ChordRouting(RoutingLayer):
             return
         self.lookup_hops_observed.append(payload.get("hops", 0))
         callback(payload["owner"])
+
+    # -------------------------------------------- batch lookup geometry hooks
+    # The generic batch machinery (request bookkeeping, per-hop partitioning,
+    # owner replies, unresolved-key reporting) lives in RoutingLayer.
+
+    def _batch_entry(self, key: int) -> dict:
+        return {"key": key, "ring_key": self.ring_key(key)}
+
+    def _batch_entry_owned(self, entry: dict) -> bool:
+        return self.owns(entry["ring_key"])
+
+    def _batch_next_hop(self, entry: dict, exclude: Optional[int]) -> Optional[int]:
+        # Chord's finger geometry has no source to avoid; dead nodes are
+        # already excluded inside _closest_preceding.
+        next_hop = self._closest_preceding(entry["ring_key"])
+        if next_hop == self.address:
+            return None
+        return next_hop
 
     # --------------------------------------------------------------- joining
 

@@ -18,7 +18,7 @@ finger graph the depth is ``O(log n)``.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from repro.dht.api import RoutingLayer
 from repro.net.node import Node
@@ -58,12 +58,27 @@ class MulticastService:
     def multicast(self, namespace: str, resource_id: Any, item: Any,
                   payload_bytes: int = 200) -> int:
         """Originate a multicast; returns the multicast id."""
+        return self.multicast_batch([(namespace, resource_id, item)],
+                                    payload_bytes=payload_bytes)
+
+    def multicast_batch(self, entries: Sequence[Tuple[str, Any, Any]],
+                        payload_bytes: int = 200) -> int:
+        """Originate one flood carrying several (namespace, resourceID, item) entries.
+
+        The whole batch shares a single envelope — and therefore a single
+        flood wave over the overlay — instead of one flood per entry;
+        ``payload_bytes`` is the combined wire size of all entries.  Handlers
+        still fire once per entry on every receiving node, in entry order.
+        """
+        if not entries:
+            raise ValueError("multicast_batch needs at least one entry")
         multicast_id = (self.node.address, next(_multicast_sequence))
         envelope = {
             "id": multicast_id,
-            "namespace": namespace,
-            "resource_id": resource_id,
-            "item": item,
+            "entries": [
+                {"namespace": namespace, "resource_id": resource_id, "item": item}
+                for namespace, resource_id, item in entries
+            ],
             "origin": self.node.address,
         }
         self._seen.add(multicast_id)
@@ -95,10 +110,14 @@ class MulticastService:
     # --------------------------------------------------------------- deliver
 
     def _deliver(self, envelope: dict) -> None:
-        namespace = envelope["namespace"]
-        handlers = list(self._handlers.get(namespace, ())) + list(self._wildcard_handlers)
-        for handler in handlers:
-            handler(namespace, envelope["resource_id"], envelope["item"], envelope["origin"])
+        origin = envelope["origin"]
+        for entry in envelope["entries"]:
+            namespace = entry["namespace"]
+            handlers = (
+                list(self._handlers.get(namespace, ())) + list(self._wildcard_handlers)
+            )
+            for handler in handlers:
+                handler(namespace, entry["resource_id"], entry["item"], origin)
 
     @classmethod
     def of(cls, node: Node) -> "MulticastService":

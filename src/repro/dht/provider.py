@@ -17,13 +17,26 @@ Every ``put``/``get`` follows the paper's two-step pattern: an overlay
 it *directly* (single IP hop), because "the bandwidth savings of not having a
 large message hop along the overlay network" outweigh the small chance of the
 mapping changing in between.
+
+Batch interface
+---------------
+``put_batch`` / ``get_batch`` / ``multicast_batch`` are the high-throughput
+companions of the scalar calls: a batch resolves all of its keys through one
+:meth:`repro.dht.api.RoutingLayer.lookup_batch` (overlay hops shared between
+keys routed the same way) and then sends **one message per (destination,
+namespace)** carrying every item that destination owns, instead of one per
+item.  Per-item semantics are preserved exactly — every stored item fires
+its own ``newData`` callback and every ``get_batch`` key receives its own
+reply callback.  Constructing the Provider with ``batching=False`` makes the
+batch calls fall back to per-item scalar calls (the seed message pattern),
+which is what the benchmarks use as their baseline.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dht.api import RoutingLayer
 from repro.dht.multicast import MulticastHandler, MulticastService
@@ -41,8 +54,14 @@ DEFAULT_SWEEP_PERIOD_S = 5.0
 
 #: Callback type for ``get``: receives a list of :class:`DHTItem`.
 GetCallback = Callable[[List["DHTItem"]], None]
+#: Callback type for ``get_batch``: receives (resource_id, items) per key.
+BatchGetCallback = Callable[[Any, List["DHTItem"]], None]
 #: Callback type for ``newData``: receives the newly stored :class:`DHTItem`.
 NewDataCallback = Callable[["DHTItem"], None]
+
+#: A ``put_batch`` entry: ``(resource_id, value)`` with optional trailing
+#: ``instance_id`` and ``item_bytes`` elements.
+PutEntry = Sequence
 
 
 @dataclass(frozen=True)
@@ -62,25 +81,35 @@ class Provider:
 
     SERVICE_NAME = "dht.provider"
     PROTOCOL_PUT = "prov.put"
+    PROTOCOL_PUT_BATCH = "prov.put_batch"
     PROTOCOL_GET = "prov.get"
     PROTOCOL_GET_REPLY = "prov.get_reply"
+    PROTOCOL_GET_BATCH = "prov.get_batch"
+    PROTOCOL_GET_BATCH_REPLY = "prov.get_batch_reply"
 
     def __init__(self, node: Node, routing: RoutingLayer,
                  sweep_period_s: float = DEFAULT_SWEEP_PERIOD_S,
-                 instance_seed: int = 0):
+                 instance_seed: int = 0,
+                 batching: bool = True):
         self.node = node
         self.routing = routing
         self.storage = StorageManager()
+        self.batching = batching
         self.multicast_service = MulticastService(node, routing)
         self._new_data_callbacks: Dict[str, List[NewDataCallback]] = {}
         self._pending_gets: Dict[int, GetCallback] = {}
+        self._pending_batch_gets: Dict[int, BatchGetCallback] = {}
         self._get_ids = itertools.count(1)
         self._instance_ids = itertools.count(instance_seed * 1_000_003 + 1)
         node.services[self.SERVICE_NAME] = self
 
         node.register_handler(self.PROTOCOL_PUT, self._on_put)
+        node.register_handler(self.PROTOCOL_PUT_BATCH, self._on_put_batch)
         node.register_handler(self.PROTOCOL_GET, self._on_get)
         node.register_handler(self.PROTOCOL_GET_REPLY, self._on_get_reply)
+        node.register_handler(self.PROTOCOL_GET_BATCH, self._on_get_batch)
+        node.register_handler(self.PROTOCOL_GET_BATCH_REPLY,
+                              self._on_get_batch_reply)
 
         # Item migration hooks used by the routing layer on join/leave.
         routing.extract_items = self.storage.extract
@@ -119,19 +148,9 @@ class Provider:
         passed, matching the paper's "randomly assigned by the user
         application").
         """
-        if instance_id is None:
-            instance_id = self.next_instance_id()
-        key = hash_key(namespace, resource_id)
-        request = {
-            "namespace": namespace,
-            "resource_id": resource_id,
-            "instance_id": instance_id,
-            "value": value,
-            "lifetime": lifetime,
-            "publisher": self.node.address,
-            "size_bytes": item_bytes,
-            "key": key,
-        }
+        request, instance_id = self._build_put_request(
+            namespace, resource_id, instance_id, value, lifetime, item_bytes
+        )
 
         def _deliver(owner: int) -> None:
             if owner == self.node.address:
@@ -140,8 +159,25 @@ class Provider:
                 self.node.send(owner, self.PROTOCOL_PUT, payload=request,
                                payload_bytes=item_bytes)
 
-        self.routing.lookup(key, _deliver)
+        self.routing.lookup(request["key"], _deliver)
         return instance_id
+
+    def _build_put_request(self, namespace: str, resource_id: Any,
+                           instance_id: Optional[int], value: Any,
+                           lifetime: float, item_bytes: int) -> Tuple[dict, int]:
+        if instance_id is None:
+            instance_id = self.next_instance_id()
+        request = {
+            "namespace": namespace,
+            "resource_id": resource_id,
+            "instance_id": instance_id,
+            "value": value,
+            "lifetime": lifetime,
+            "publisher": self.node.address,
+            "size_bytes": item_bytes,
+            "key": hash_key(namespace, resource_id),
+        }
+        return request, instance_id
 
     def put_direct(self, target: int, namespace: str, resource_id: Any,
                    instance_id: Optional[int], value: Any,
@@ -156,19 +192,9 @@ class Provider:
         of the item's key is still performed first, so the latency cost of
         resolving a destination matches the ordinary ``put`` path.
         """
-        if instance_id is None:
-            instance_id = self.next_instance_id()
-        key = hash_key(namespace, resource_id)
-        request = {
-            "namespace": namespace,
-            "resource_id": resource_id,
-            "instance_id": instance_id,
-            "value": value,
-            "lifetime": lifetime,
-            "publisher": self.node.address,
-            "size_bytes": item_bytes,
-            "key": key,
-        }
+        request, instance_id = self._build_put_request(
+            namespace, resource_id, instance_id, value, lifetime, item_bytes
+        )
 
         def _deliver(_owner: int) -> None:
             if target == self.node.address:
@@ -178,7 +204,7 @@ class Provider:
                                payload_bytes=item_bytes)
 
         if charge_lookup:
-            self.routing.lookup(key, _deliver)
+            self.routing.lookup(request["key"], _deliver)
         else:
             _deliver(target)
         return instance_id
@@ -218,6 +244,128 @@ class Provider:
             view = self._view(item)
             for callback in self._new_data_callbacks.get(item.namespace, ()):
                 callback(view)
+
+    # ------------------------------------------------------------- put_batch
+
+    def _normalize_put_entries(self, namespace: str, entries: Sequence[PutEntry],
+                               lifetime: float, item_bytes: int
+                               ) -> Tuple[List[dict], List[int]]:
+        """Expand ``(resource_id, value[, instance_id[, item_bytes]])`` entries."""
+        requests: List[dict] = []
+        instance_ids: List[int] = []
+        for entry in entries:
+            resource_id, value = entry[0], entry[1]
+            instance_id = entry[2] if len(entry) > 2 else None
+            entry_bytes = entry[3] if len(entry) > 3 else item_bytes
+            request, instance_id = self._build_put_request(
+                namespace, resource_id, instance_id, value, lifetime, entry_bytes
+            )
+            requests.append(request)
+            instance_ids.append(instance_id)
+        return requests, instance_ids
+
+    def put_batch(self, namespace: str, entries: Sequence[PutEntry],
+                  lifetime: float = DEFAULT_LIFETIME_S,
+                  item_bytes: int = DEFAULT_ITEM_BYTES) -> List[int]:
+        """Publish many items with one routed resolution and one message per owner.
+
+        ``entries`` is a sequence of ``(resource_id, value)`` tuples with
+        optional trailing ``instance_id`` and ``item_bytes`` elements.
+        Returns the instanceIDs used, aligned with ``entries``.  Items whose
+        keys share an owner travel in a single ``prov.put_batch`` message
+        whose payload is the sum of the item sizes; every stored item still
+        fires its own ``newData`` callback on arrival.  With
+        ``batching=False`` this degrades to one scalar :meth:`put` per entry.
+        """
+        requests, instance_ids = self._normalize_put_entries(
+            namespace, entries, lifetime, item_bytes
+        )
+        if not requests:
+            return instance_ids
+        if not self.batching:
+            for request in requests:
+                self._route_put_request(request)
+            return instance_ids
+        requests_by_key: Dict[int, List[dict]] = {}
+        for request in requests:
+            requests_by_key.setdefault(request["key"], []).append(request)
+
+        def _deliver(owner: int, keys: List[int]) -> None:
+            batch = [request for key in keys for request in requests_by_key[key]]
+            self._send_put_requests(owner, batch)
+
+        self.routing.lookup_batch(list(requests_by_key), _deliver)
+        return instance_ids
+
+    def put_direct_batch(self, target: int, namespace: str,
+                         entries: Sequence[PutEntry],
+                         lifetime: float = DEFAULT_LIFETIME_S,
+                         item_bytes: int = DEFAULT_ITEM_BYTES,
+                         charge_lookup: bool = True) -> List[int]:
+        """Batch companion of :meth:`put_direct`: everything goes to ``target``.
+
+        With ``charge_lookup`` the keys are still resolved through the
+        overlay first (one batched resolution), so the latency cost matches
+        the ordinary ``put_batch`` path; the items themselves are shipped to
+        ``target`` in one message per resolution wave.
+        """
+        requests, instance_ids = self._normalize_put_entries(
+            namespace, entries, lifetime, item_bytes
+        )
+        if not requests:
+            return instance_ids
+        if not self.batching:
+            for request in requests:
+                self._route_put_request(request, target=target,
+                                        charge_lookup=charge_lookup)
+            return instance_ids
+        requests_by_key: Dict[int, List[dict]] = {}
+        for request in requests:
+            requests_by_key.setdefault(request["key"], []).append(request)
+
+        if not charge_lookup:
+            self._send_put_requests(target, requests)
+            return instance_ids
+
+        def _deliver(_owner: int, keys: List[int]) -> None:
+            batch = [request for key in keys for request in requests_by_key[key]]
+            self._send_put_requests(target, batch)
+
+        self.routing.lookup_batch(list(requests_by_key), _deliver)
+        return instance_ids
+
+    def _route_put_request(self, request: dict, target: Optional[int] = None,
+                           charge_lookup: bool = True) -> None:
+        """Scalar (seed-pattern) dispatch of one prepared put request."""
+
+        def _deliver(owner: int) -> None:
+            destination = owner if target is None else target
+            self._send_put_requests(destination, [request], batch_protocol=False)
+
+        if charge_lookup:
+            self.routing.lookup(request["key"], _deliver)
+        else:
+            _deliver(target if target is not None else self.node.address)
+
+    def _send_put_requests(self, destination: int, requests: List[dict],
+                           batch_protocol: bool = True) -> None:
+        """Store locally or ship a group of put requests to one destination."""
+        if destination == self.node.address:
+            for request in requests:
+                self._store_request(request)
+            return
+        if not batch_protocol and len(requests) == 1:
+            self.node.send(destination, self.PROTOCOL_PUT, payload=requests[0],
+                           payload_bytes=requests[0]["size_bytes"])
+            return
+        total_bytes = sum(request["size_bytes"] for request in requests)
+        self.node.send(destination, self.PROTOCOL_PUT_BATCH,
+                       payload={"requests": requests},
+                       payload_bytes=total_bytes)
+
+    def _on_put_batch(self, node: Node, message) -> None:
+        for request in message.payload["requests"]:
+            self._store_request(request)
 
     # ------------------------------------------------------------------- get
 
@@ -270,6 +418,78 @@ class Provider:
         if callback is not None:
             callback(payload["items"])
 
+    # ------------------------------------------------------------- get_batch
+
+    def get_batch(self, namespace: str, resource_ids: Sequence[Any],
+                  callback: BatchGetCallback, request_bytes: int = 60) -> None:
+        """Fetch the items of many resourceIDs with one request per owner.
+
+        ``callback(resource_id, items)`` fires once per distinct resourceID.
+        IDs owned by the same node share a single ``prov.get_batch`` request
+        and a single reply; locally-owned IDs resolve synchronously.  With
+        ``batching=False`` this degrades to one scalar :meth:`get` per ID.
+        """
+        unique = list(dict.fromkeys(resource_ids))
+        if not unique:
+            return
+        if not self.batching:
+            for resource_id in unique:
+                self.get(namespace, resource_id,
+                         lambda items, rid=resource_id: callback(rid, items),
+                         request_bytes=request_bytes)
+            return
+        rids_by_key: Dict[int, List[Any]] = {}
+        for resource_id in unique:
+            key = hash_key(namespace, resource_id)
+            rids_by_key.setdefault(key, []).append(resource_id)
+
+        def _ask(owner: int, keys: List[int]) -> None:
+            rids = [rid for key in keys for rid in rids_by_key[key]]
+            if owner == self.node.address:
+                for rid in rids:
+                    callback(rid, self.get_local(namespace, rid))
+                return
+            request_id = next(self._get_ids)
+            self._pending_batch_gets[request_id] = callback
+            self.node.send(
+                owner,
+                self.PROTOCOL_GET_BATCH,
+                payload={
+                    "namespace": namespace,
+                    "resource_ids": rids,
+                    "origin": self.node.address,
+                    "request_id": request_id,
+                },
+                payload_bytes=request_bytes + 8 * (len(rids) - 1),
+            )
+
+        self.routing.lookup_batch(list(rids_by_key), _ask)
+
+    def _on_get_batch(self, node: Node, message) -> None:
+        payload = message.payload
+        namespace = payload["namespace"]
+        results = [
+            {"resource_id": rid, "items": self.get_local(namespace, rid)}
+            for rid in payload["resource_ids"]
+        ]
+        reply_bytes = sum(
+            item.size_bytes for result in results for item in result["items"]
+        ) or 40
+        node.send(
+            payload["origin"],
+            self.PROTOCOL_GET_BATCH_REPLY,
+            payload={"request_id": payload["request_id"], "results": results},
+            payload_bytes=reply_bytes,
+        )
+
+    def _on_get_batch_reply(self, node: Node, message) -> None:
+        payload = message.payload
+        callback = self._pending_batch_gets.pop(payload["request_id"], None)
+        if callback is None:
+            return
+        for result in payload["results"]:
+            callback(result["resource_id"], result["items"])
+
     # ------------------------------------------------------------- local ops
 
     def lscan(self, namespace: str) -> Iterator[DHTItem]:
@@ -288,6 +508,37 @@ class Provider:
         """Deliver ``item`` to every node serving ``namespace`` (``multicast``)."""
         return self.multicast_service.multicast(
             namespace, resource_id, item, payload_bytes=payload_bytes
+        )
+
+    def multicast_batch(self, entries: Sequence[Sequence],
+                        payload_bytes: int = 200) -> int:
+        """Deliver several (namespace, resourceID, item) entries in one flood.
+
+        Each entry may carry an optional fourth element with its own wire
+        size; ``payload_bytes`` is the per-entry default.  The single flood
+        is charged the sum of the entry sizes.  With ``batching=False`` this
+        degrades to one flood per entry at that entry's own size (the last
+        multicast id is returned), matching the seed message pattern.
+        """
+        if not entries:
+            raise ValueError("multicast_batch needs at least one entry")
+        normalized = [
+            (entry[0], entry[1], entry[2],
+             entry[3] if len(entry) > 3 else payload_bytes)
+            for entry in entries
+        ]
+        if not self.batching:
+            last = 0
+            for namespace, resource_id, item, entry_bytes in normalized:
+                last = self.multicast_service.multicast(
+                    namespace, resource_id, item, payload_bytes=entry_bytes
+                )
+            return last
+        return self.multicast_service.multicast_batch(
+            [(namespace, resource_id, item)
+             for namespace, resource_id, item, _bytes in normalized],
+            payload_bytes=sum(entry_bytes for _ns, _rid, _item, entry_bytes
+                              in normalized),
         )
 
     def on_multicast(self, namespace: str, handler: MulticastHandler) -> None:

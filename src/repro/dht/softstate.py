@@ -100,16 +100,22 @@ class RenewalAgent:
             self._timer = None
 
     def renew_all(self) -> int:
-        """Renew every tracked item once; returns the number renewed."""
-        renewed = 0
+        """Renew every tracked item once; returns the number renewed.
+
+        Renewals are issued through :meth:`repro.dht.provider.Provider.put_batch`
+        grouped by (namespace, lifetime), so a renewal storm costs one message
+        per responsible node rather than one per item.
+        """
+        groups: Dict[Tuple[str, float], list] = {}
         for record in list(self.records.values()):
-            self.provider.renew(
-                record.namespace,
-                record.resource_id,
-                record.instance_id,
-                record.value,
-                record.lifetime,
-                item_bytes=record.size_bytes,
-            )
-            renewed += 1
+            groups.setdefault((record.namespace, record.lifetime), []).append(record)
+        renewed = 0
+        for (namespace, lifetime), records in groups.items():
+            entries = [
+                (record.resource_id, record.value, record.instance_id,
+                 record.size_bytes)
+                for record in records
+            ]
+            self.provider.put_batch(namespace, entries, lifetime=lifetime)
+            renewed += len(records)
         return renewed

@@ -60,6 +60,13 @@ class SimulationConfig:
     cluster_jitter: float = 0.35
     sweep_period_s: float = 0.0
     seed: int = 0
+    #: Batched message path: DHT batch APIs plus network-level coalescing.
+    #: ``False`` reproduces the seed's one-event-per-item message pattern
+    #: (the benchmarks' baseline for the event-reduction measurement).
+    batching: bool = True
+    #: Coalescing window for same-destination sends; ``0.0`` merges sends
+    #: issued at the same virtual instant.  Ignored when ``batching`` is off.
+    coalesce_window_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -78,7 +85,10 @@ class PierNetwork:
     def __init__(self, config: SimulationConfig):
         self.config = config
         self.topology = self._build_topology(config)
-        self.network = Network(self.topology)
+        self.network = Network(
+            self.topology,
+            coalesce_window_s=config.coalesce_window_s if config.batching else None,
+        )
         if config.dht == "can":
             self.builder = CanNetworkBuilder(dimensions=config.can_dimensions,
                                              seed=config.seed)
@@ -91,7 +101,8 @@ class PierNetwork:
             node = self.network.node(address)
             provider = Provider(node, self.routings[address],
                                 sweep_period_s=config.sweep_period_s,
-                                instance_seed=address)
+                                instance_seed=address,
+                                batching=config.batching)
             self.providers[address] = provider
             self.executors[address] = QueryExecutor(node, provider)
         self.renewal_agents: Dict[int, RenewalAgent] = {}

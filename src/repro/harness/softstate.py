@@ -16,7 +16,7 @@ lost tuples reappear when their publishers next renew them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.harness.experiment import PierNetwork
 from repro.metrics.recall import recall as compute_recall

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 #: Fixed per-message header overhead (bytes).
 HEADER_BYTES = 60

@@ -26,7 +26,7 @@ which the recall metric and the correctness tests compare against.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.catalog import Catalog
@@ -38,7 +38,7 @@ from repro.core.expressions import (
     lit,
     udf,
 )
-from repro.core.query import AggregateSpec, JoinClause, JoinStrategy, QuerySpec, TableRef
+from repro.core.query import JoinClause, JoinStrategy, QuerySpec, TableRef
 from repro.core.tuples import Column, RelationDef, Schema
 from repro.exceptions import WorkloadError
 

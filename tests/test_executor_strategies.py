@@ -97,7 +97,6 @@ def test_bloom_join_takes_longer_than_symmetric_hash():
 def test_fetch_matches_requires_a_side_hashed_on_join_key():
     from repro.core.query import JoinClause, QuerySpec, TableRef
     from repro.exceptions import PlanError
-    from repro.core.executor import QueryExecutor
 
     workload = build_workload(8)
     pier = build_pier(8)

@@ -5,8 +5,7 @@ import pytest
 from repro.exceptions import ExperimentError
 from repro.harness import PierNetwork, SimulationConfig, analytical, format_series, format_table, run_query
 from repro.harness.softstate import run_soft_state_experiment
-from repro.workloads import JoinWorkload, WorkloadConfig
-from tests.conftest import build_pier, build_workload, load_join_tables
+from tests.conftest import build_pier, build_workload
 
 
 # --------------------------------------------------------------------- config

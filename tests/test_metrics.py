@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.executor import QueryHandle
-from repro.core.query import AggregateSpec, QuerySpec, TableRef
+from repro.core.query import QuerySpec, TableRef
 from repro.core.tuples import Column, RelationDef, Schema
 from repro.metrics.latency import mean, percentile, summarize_latency
 from repro.metrics.recall import precision, recall, recall_and_precision

@@ -211,6 +211,26 @@ def test_symmetric_hash_join_buffer_counts():
     assert join.right_rows_buffered == 1
 
 
+def test_symmetric_hash_join_rows_in_counts_each_input_once():
+    """Regression: rows fed through push() (tagged) and push_left/push_right
+    must each be counted exactly once in rows_in — the seed adjusted the
+    counter down inside process() to compensate for double counting."""
+    join = SymmetricHashJoin(left_key, left_key)
+    join.push({"side": "left", "row": {"k": 1, "a": 1}})
+    join.push({"side": "right", "row": {"k": 1, "b": 2}})
+    join.push_left({"k": 2, "a": 2})
+    join.push_right({"k": 2, "b": 3})
+    assert join.rows_in == 4
+    assert join.rows_out == 2
+    # Mixing entrypoints keeps the count exact under push_many as well.
+    join.push_many([
+        {"side": "left", "row": {"k": 9, "a": 9}},
+        {"side": "right", "row": {"k": 9, "b": 9}},
+    ])
+    assert join.rows_in == 6
+    assert join.rows_out == 3
+
+
 # ------------------------------------------------------------------ aggregates
 
 

@@ -1,7 +1,5 @@
 """Integration tests for the Provider (Table 3 API), renewal and multicast."""
 
-import pytest
-
 from repro.dht.can import CanNetworkBuilder
 from repro.dht.naming import hash_key
 from repro.dht.provider import Provider

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.catalog import CATALOG_NAMESPACE, Catalog
+from repro.core.catalog import Catalog
 from repro.core.expressions import Comparison, col, lit
 from repro.core.plan import (
     build_final_aggregation,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.catalog import Catalog
-from repro.core.expressions import And, Arithmetic, ColumnRef, Comparison, FunctionCall, Literal
+from repro.core.expressions import Arithmetic, Comparison, FunctionCall, Literal
 from repro.core.query import JoinStrategy
 from repro.core.sql import SQLPlanner, parse_sql
 from repro.core.sql.lexer import SQLLexer
