@@ -2,24 +2,26 @@
 
 The paper points out that network monitoring data is naturally a stream and
 that PIER's push-based engine extends to continuous queries by adding
-windowing.  This example keeps publishing new intrusion fingerprints while a
-periodic windowed count query runs every 30 seconds of virtual time, showing
-how each window reflects only the recently published reports.
+windowing.  This example keeps publishing new intrusion fingerprints while
+``PierClient.continuous`` re-runs a windowed count query every 30 seconds of
+virtual time, showing how each window reflects only the recently published
+reports — and how each window's distributed state is torn down when the
+next one is submitted.
 
 Run with: ``python examples/continuous_monitoring.py``
+(set ``PIER_EXAMPLE_NODES`` to change the deployment size).
 """
 
+import os
 import random
 
 from repro import PierNetwork, SimulationConfig
-from repro.core.continuous import PeriodicQuery, SlidingWindowPredicate
-from repro.core.query import AggregateSpec, QuerySpec, TableRef
 from repro.harness.reporting import format_table
 from repro.workloads import NetworkMonitoringWorkload
 
 
 def main() -> None:
-    num_nodes = 32
+    num_nodes = int(os.environ.get("PIER_EXAMPLE_NODES", "32"))
     workload = NetworkMonitoringWorkload(num_nodes=num_nodes, intrusions_per_node=0, seed=3)
     pier = PierNetwork(SimulationConfig(num_nodes=num_nodes, seed=3))
     rng = random.Random(3)
@@ -46,26 +48,24 @@ def main() -> None:
             5.0, publish, address, initial_delay=rng.uniform(0.5, 5.0)
         )
 
-    # A windowed continuous query: count reports per fingerprint over the
-    # trailing 30 seconds, re-evaluated every 30 seconds.
-    template = QuerySpec(
-        tables=[TableRef(workload.intrusions, "I")],
-        group_by=["I.fingerprint"],
-        aggregates=[AggregateSpec("count", None, "cnt")],
+    # A windowed continuous query through the client session: count reports
+    # per fingerprint over the trailing 30 seconds, re-run every 30 seconds.
+    client = pier.client(node=0, catalog=workload.catalog())
+    monitor = client.continuous(
+        "SELECT I.fingerprint, count(*) AS cnt FROM intrusions I "
+        "GROUP BY I.fingerprint",
+        period_s=30.0,
+        window_column="timestamp", window_s=30.0,
         collection_window_s=5.0,
     )
-    continuous = PeriodicQuery(
-        pier.executor(0), template, period_s=30.0,
-        window=SlidingWindowPredicate("timestamp", window_s=30.0),
-    )
-    continuous.start(immediate=False)
+    monitor.start(immediate=False)
 
     pier.run(until=150.0)
-    continuous.stop()
+    monitor.stop(teardown_last=True)
     pier.run(until=180.0)
 
     rows = []
-    for index, handle in enumerate(continuous.handles):
+    for index, handle in enumerate(monitor.handles):
         for row in sorted(handle.final_rows(), key=lambda r: r["I.fingerprint"]):
             rows.append({
                 "window": index,
@@ -75,6 +75,10 @@ def main() -> None:
             })
     print(format_table("Windowed fingerprint counts (30 s windows)", rows))
     print(f"\nTotal reports published: {next_report_id[0]}")
+    leaked = [address for address in range(num_nodes)
+              if pier.executor(address).active_query_ids()]
+    print(f"Per-node query state after the monitor stopped: "
+          f"{'none (torn down)' if not leaked else leaked}")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
-"""Quickstart: run the paper's benchmark join over a small simulated PIER network.
+"""Quickstart: the paper's benchmark join through the PierClient session API.
 
-This builds a 32-node fully connected network (100 ms latency, 10 Mbps
+This builds a small fully connected network (100 ms latency, 10 Mbps
 inbound links), installs a 2-dimensional CAN and one PIER instance per node,
 loads the synthetic R and S tables of Section 5.1, and runs::
 
@@ -9,18 +9,25 @@ loads the synthetic R and S tables of Section 5.1, and runs::
     WHERE R.num1 = S.pkey AND R.num2 > c1 AND S.num2 > c2
       AND f(R.num3, S.num3) > c3
 
-with the symmetric hash join strategy, printing latency and traffic metrics.
+through ``PierClient``: first EXPLAIN-ing the physical operator graph, then
+streaming the first few result tuples off the cursor, then finishing the
+query and printing latency/traffic metrics.
 
 Run with: ``python examples/quickstart.py``
+(set ``PIER_EXAMPLE_NODES`` to change the deployment size).
 """
 
-from repro import JoinStrategy, PierNetwork, SimulationConfig, run_query
+import os
+
+from repro import JoinStrategy, PierNetwork, SimulationConfig
 from repro.harness.reporting import format_table
+from repro.metrics.latency import summarize_latency
+from repro.metrics.traffic import breakdown_traffic
 from repro.workloads import JoinWorkload, WorkloadConfig
 
 
 def main() -> None:
-    num_nodes = 32
+    num_nodes = int(os.environ.get("PIER_EXAMPLE_NODES", "32"))
     workload = JoinWorkload(WorkloadConfig(num_nodes=num_nodes, s_tuples_per_node=2, seed=42))
     pier = PierNetwork(SimulationConfig(num_nodes=num_nodes, seed=42))
 
@@ -29,16 +36,31 @@ def main() -> None:
     pier.load_relation(workload.r_relation, workload.r_by_node)
     pier.load_relation(workload.s_relation, workload.s_by_node)
 
-    query = workload.make_query(strategy=JoinStrategy.SYMMETRIC_HASH)
-    result = run_query(pier, query, initiator=0)
+    # One client session, bound to node 0, planning SQL against the catalog.
+    client = pier.client(node=0, catalog=workload.catalog())
+    sql = workload.sql_text()
 
+    print("\nEXPLAIN:")
+    print(client.explain(sql, strategy=JoinStrategy.SYMMETRIC_HASH))
+
+    cursor = client.sql(sql, strategy=JoinStrategy.SYMMETRIC_HASH)
+    first = cursor.fetch(3)
+    print(f"\nFirst {len(first)} streamed result rows "
+          f"(virtual time {pier.now:.3f} s): {first[:1]} ...")
+
+    rows = cursor.fetchall()
     expected = workload.expected_result_count()
-    print(f"\nQuery returned {result.result_count} result tuples "
-          f"(golden answer: {expected}).")
-    print(f"Sample result row: {result.handle.rows[0] if result.handle.rows else None}")
+    print(f"\nQuery returned {len(rows)} result tuples (golden answer: {expected}).")
 
-    print("\n" + format_table("Latency (seconds, virtual time)", [result.latency.as_row()]))
-    print("\n" + format_table("Network traffic", [result.traffic.as_row()]))
+    latency = summarize_latency(cursor.handle, k=30)
+    traffic = breakdown_traffic(pier.network.stats)
+    print("\n" + format_table("Latency (seconds, virtual time)", [latency.as_row()]))
+    print("\n" + format_table("Network traffic", [traffic.as_row()]))
+
+    leaked = [address for address in range(num_nodes)
+              if pier.executor(address).active_query_ids()]
+    print(f"\nPer-node query state after the cursor finished: "
+          f"{'none (torn down)' if not leaked else leaked}")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,11 @@ renew their tuples every ``refresh`` seconds, so a shorter refresh period
 repairs the damage faster and yields higher recall.
 
 Run with: ``python examples/soft_state_churn.py``
+(set ``PIER_EXAMPLE_NODES`` / ``PIER_EXAMPLE_QUERIES`` to shrink the sweep,
+as the CI examples-smoke job does).
 """
+
+import os
 
 from repro import PierNetwork, SimulationConfig
 from repro.harness.reporting import format_table
@@ -16,7 +20,8 @@ from repro.workloads import JoinWorkload, WorkloadConfig
 
 
 def main() -> None:
-    num_nodes = 48
+    num_nodes = int(os.environ.get("PIER_EXAMPLE_NODES", "48"))
+    num_queries = int(os.environ.get("PIER_EXAMPLE_QUERIES", "3"))
     failure_rate_per_min = 3.0   # ~6 % of the nodes per minute, as in the paper's worst case
     rows = []
     for refresh_period in (30.0, 60.0, 150.0):
@@ -26,7 +31,7 @@ def main() -> None:
             pier, workload,
             refresh_period_s=refresh_period,
             failure_rate_per_min=failure_rate_per_min,
-            num_queries=3,
+            num_queries=num_queries,
             query_interval_s=60.0,
             warmup_s=30.0,
             query_horizon_s=45.0,

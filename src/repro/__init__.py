@@ -9,27 +9,38 @@ discrete-event network simulator used for the paper's evaluation.
 
 Quick start::
 
-    from repro import SimulationConfig, PierNetwork, run_query
+    from repro import SimulationConfig, PierNetwork
     from repro.workloads import WorkloadConfig, JoinWorkload
 
     workload = JoinWorkload(WorkloadConfig(num_nodes=16, s_tuples_per_node=2))
     pier = PierNetwork(SimulationConfig(num_nodes=16))
     pier.load_relation(workload.r_relation, workload.r_by_node)
     pier.load_relation(workload.s_relation, workload.s_by_node)
-    result = run_query(pier, workload.make_query(), initiator=0)
-    print(result.latency.as_row(), result.traffic.as_row())
+
+    client = pier.client(node=0, catalog=workload.catalog())
+    print(client.explain(workload.sql_text()))      # physical operator graph
+    cursor = client.sql(workload.sql_text())        # streaming result cursor
+    print(cursor.fetch(10), cursor.time_to_kth(10))
+    rows = cursor.fetchall()                        # completes + tears down
+
+(``run_query`` remains as the batch-style shim the benchmarks use.)
 """
 
+from repro.client import PierClient, ResultCursor
 from repro.core import (
     BloomFilter,
     Catalog,
     JoinClause,
     JoinStrategy,
+    OpGraph,
+    PeriodicQuery,
     QueryExecutor,
     QueryHandle,
     QuerySpec,
+    SlidingWindowPredicate,
     SQLPlanner,
     TableRef,
+    build_opgraph,
     parse_sql,
 )
 from repro.core.tuples import Column, RelationDef, Schema
@@ -42,7 +53,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # client
+    "PierClient",
+    "ResultCursor",
     # core
+    "OpGraph",
+    "build_opgraph",
+    "PeriodicQuery",
+    "SlidingWindowPredicate",
     "QuerySpec",
     "TableRef",
     "JoinClause",

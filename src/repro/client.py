@@ -1,0 +1,380 @@
+"""PierClient: the session-level query API over a simulated PIER deployment.
+
+The layers below this module speak in mechanisms — :class:`QuerySpec`
+multicasts, per-node executors, operator graphs.  ``PierClient`` is the one
+composable surface applications use instead:
+
+.. code-block:: python
+
+    client = PierClient(pier, node=0, catalog=workload.catalog())
+
+    cursor = client.sql("SELECT R.pkey, S.pkey, R.pad FROM R, S "
+                        "WHERE R.num1 = S.pkey LIMIT 100")
+    first = cursor.fetch(10)          # drive the simulation until 10 rows
+    for row in cursor:                # ... or stream the rest
+        consume(row)
+    cursor.cancel()                   # tear the dataflow down everywhere
+
+    print(client.explain("SELECT ..."))          # physical operator graph
+    monitor = client.continuous("SELECT ...", period_s=30.0)
+
+Queries are long-lived dataflows with soft-state lifetimes; the cursor owns
+the lifecycle: it enforces ``LIMIT`` and per-query timeouts at the
+initiator, and on completion/cancel it multicasts a teardown so every
+node's probes, subscriptions, timers and temporary fragments are released
+(see :meth:`repro.core.executor.QueryExecutor.finish`).
+
+The cursor *drives* the discrete-event simulation on demand (iteration and
+``fetch`` advance virtual time until enough rows arrive).  Experiments that
+run their own event loop — failure injection, renewal agents — can keep
+driving the network themselves and simply read the cursor's views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.catalog import Catalog
+from repro.core.continuous import PeriodicQuery, SlidingWindowPredicate
+from repro.core.executor import QueryExecutor, QueryHandle
+from repro.core.opgraph import OpGraph, build_opgraph
+from repro.core.query import JoinStrategy, QuerySpec
+from repro.core.sql.planner import SQLPlanner
+from repro.core.tuples import RelationDef
+from repro.exceptions import PlanError
+
+#: Simulator events advanced per driving step; between steps the cursor
+#: checks arrivals against LIMIT / timeout, keeping cancellation prompt.
+DRIVE_CHUNK_EVENTS = 256
+
+
+class ResultCursor:
+    """Streaming view of one running query, owned by a :class:`PierClient`.
+
+    Iterating (or calling :meth:`fetch` / :meth:`fetchall`) advances the
+    simulation until enough result rows have reached the initiator, the
+    event queue drains, the per-query timeout expires, or the query's
+    ``LIMIT`` is satisfied — whichever comes first.  ``LIMIT`` and timeout
+    both cancel the distributed dataflow once they trigger.
+
+    Driving is always bounded: with no explicit ``timeout_s`` the cursor
+    stops at the query's own soft-state lifetime (``temp_lifetime_s``) —
+    by then its temporary fragments have expired and no result can
+    legitimately arrive — so cursors terminate even on networks whose
+    periodic processes (renewal agents, monitors) never go idle.
+    :attr:`timed_out` is set when either bound cut the query short.
+    """
+
+    def __init__(self, pier, executor: QueryExecutor, query: QuerySpec,
+                 handle: QueryHandle, timeout_s: Optional[float] = None):
+        self._pier = pier
+        self._executor = executor
+        self.query = query
+        self.handle = handle
+        self.timeout_s = timeout_s
+        self._limit = query.limit
+        #: Whether the rows streamed to the initiator *are* the final rows.
+        #: Initiator-side aggregations (join + GROUP BY) stream raw join
+        #: rows instead, so LIMIT must apply to the finalised groups and
+        #: must not cut the dataflow off mid-stream.
+        self._streams_final_rows = not (
+            query.is_aggregation and not query.distributed_aggregation
+        )
+        self._closed = False
+        self.cancelled = False
+        self.timed_out = False
+
+    # ----------------------------------------------------------------- views
+
+    @property
+    def query_id(self) -> int:
+        """Identifier of the underlying query."""
+        return self.query.query_id
+
+    @property
+    def rows(self) -> List[dict]:
+        """Result rows received so far (LIMIT applied), in arrival order."""
+        rows = self.handle.rows
+        if self._limit is not None and self._streams_final_rows:
+            rows = rows[:self._limit]
+        return rows
+
+    @property
+    def result_count(self) -> int:
+        """Number of result rows delivered so far (LIMIT applied)."""
+        return len(self.rows)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the query's distributed state has been torn down."""
+        return self._closed
+
+    def time_to_kth(self, k: int) -> Optional[float]:
+        """Elapsed virtual time from submission to the k-th result row."""
+        return self.handle.time_to_kth(k)
+
+    def time_to_last(self) -> Optional[float]:
+        """Elapsed virtual time from submission to the last received row."""
+        return self.handle.time_to_last()
+
+    def arrival_times(self) -> List[float]:
+        """Elapsed arrival times of every received result row."""
+        times = self.handle.arrival_times()
+        if self._limit is not None and self._streams_final_rows:
+            times = times[:self._limit]
+        return times
+
+    def explain(self) -> str:
+        """The physical operator graph this query runs as."""
+        return "\n".join(build_opgraph(self.query).describe())
+
+    # -------------------------------------------------------------- lifecycle
+
+    def cancel(self) -> None:
+        """Stop result delivery and tear the dataflow down everywhere.
+
+        The teardown is multicast immediately (the initiator's own state is
+        released synchronously); remote nodes release theirs as the flood
+        reaches them, which happens as the simulation keeps running.
+        """
+        if self._closed:
+            return
+        self.cancelled = True
+        self._teardown()
+
+    def close(self, drain: bool = True) -> None:
+        """Finish the query and release its distributed state.
+
+        With ``drain`` (the default) the simulation is run until idle so the
+        teardown flood is fully delivered; pass ``drain=False`` inside
+        experiments that keep periodic processes running (their event queues
+        never drain).
+        """
+        if self._closed:
+            return
+        self._teardown()
+        if drain:
+            self._pier.network.run_until_idle()
+
+    def _teardown(self) -> None:
+        self._closed = True
+        self._executor.finish(self.query_id)
+
+    # ---------------------------------------------------------------- driving
+
+    def _deadline(self) -> float:
+        """When to stop driving: the explicit timeout, or — failing that —
+        the query's own soft-state lifetime: its temporary fragments have
+        expired by then, so no result can legitimately arrive later.  This
+        bounds cursor driving even on networks whose periodic processes
+        (renewal agents, monitors) keep the event queue non-empty forever.
+        """
+        horizon = self.query.temp_lifetime_s
+        if self.timeout_s is not None:
+            horizon = min(horizon, self.timeout_s)
+        return self.handle.submitted_at + horizon
+
+    def _limit_satisfied(self) -> bool:
+        return (self._limit is not None and self._streams_final_rows
+                and self.handle.result_count >= self._limit)
+
+    def _advance(self, target_rows: Optional[int] = None) -> None:
+        """Run the simulation until enough rows arrived / idle / timeout/LIMIT."""
+        network = self._pier.network
+        deadline = self._deadline()
+        goal = target_rows
+        if self._limit is not None and self._streams_final_rows:
+            goal = self._limit if goal is None else min(goal, self._limit)
+        while True:
+            if self._limit_satisfied():
+                if not self._closed:
+                    self.cancel()
+                return
+            if goal is not None and self.handle.result_count >= goal:
+                return
+            next_time = network.simulator.next_event_time()
+            if next_time is None:
+                return  # idle: everything the query will produce has arrived
+            if network.now >= deadline or next_time >= deadline:
+                # Explicit timeout, or the query outlived its own soft state.
+                if not self._closed:
+                    self.timed_out = True
+                    self.cancel()
+                return
+            # Drive up to the next activity timestamp only: run(until=...)
+            # would otherwise jump the virtual clock to the deadline when
+            # the queue drains, distorting time for everything that follows.
+            network.run(until=next_time, max_events=DRIVE_CHUNK_EVENTS)
+
+    def fetch(self, k: int) -> List[dict]:
+        """Drive the simulation until ``k`` rows arrived; return the first k.
+
+        Returns fewer rows when the query finishes (or times out / hits its
+        LIMIT) before producing ``k``.
+        """
+        self._advance(target_rows=k)
+        return self.rows[:k]
+
+    def fetchall(self, drain: bool = True) -> List[dict]:
+        """Run the query to completion and return its final rows.
+
+        Initiator-side aggregations are finalised here (grouping over the
+        streamed rows), and ``LIMIT`` applies to the finalised rows.  The
+        query's distributed state is torn down before returning; with
+        ``drain`` (the default) the simulation then runs until idle so the
+        teardown flood is fully delivered — pass ``drain=False`` inside
+        experiments with periodic processes, whose event queues never drain.
+        """
+        self._advance()
+        rows = self.handle.final_rows()
+        if self._limit is not None:
+            rows = rows[:self._limit]
+        if not self._closed:
+            self._teardown()
+        if drain:
+            self._pier.network.run_until_idle()
+        return rows
+
+    def __iter__(self) -> Iterator[dict]:
+        """Stream result rows in arrival order, driving the simulation lazily.
+
+        Initiator-side aggregation queries cannot stream (their groups only
+        exist once all inputs arrived), so they run to completion first and
+        then yield the final rows.
+        """
+        query = self.query
+        if query.is_aggregation and not query.distributed_aggregation:
+            yield from self.fetchall()
+            return
+        delivered = 0
+        while True:
+            if delivered < self.handle.result_count:
+                rows = self.rows
+                while delivered < len(rows):
+                    yield rows[delivered]
+                    delivered += 1
+                if self._limit is not None and delivered >= self._limit:
+                    return
+                continue
+            before = self.handle.result_count
+            self._advance(target_rows=before + 1)
+            if self.handle.result_count == before:
+                return  # no more rows are coming
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (f"ResultCursor(query_id={self.query_id}, rows={self.result_count}, "
+                f"{state})")
+
+
+class PierClient:
+    """Session handle bound to one node of a :class:`PierNetwork`.
+
+    Parameters
+    ----------
+    pier:
+        The assembled deployment (anything exposing ``executor(node)`` and
+        ``network`` works, so tests can stub it).
+    node:
+        Address of the node queries are initiated from.
+    catalog:
+        Catalog used by the SQL planner; relations can also be registered
+        later with :meth:`register`.
+    default_strategy:
+        Join strategy used when a call does not pick one explicitly.
+    """
+
+    def __init__(self, pier, node: int = 0, catalog: Optional[Catalog] = None,
+                 default_strategy: JoinStrategy = JoinStrategy.SYMMETRIC_HASH):
+        self.pier = pier
+        self.node = node
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.default_strategy = default_strategy
+        self.planner = SQLPlanner(self.catalog)
+
+    # ----------------------------------------------------------------- wiring
+
+    @property
+    def executor(self) -> QueryExecutor:
+        """The initiating node's query executor."""
+        return self.pier.executor(self.node)
+
+    def register(self, relation: RelationDef, replace: bool = False) -> RelationDef:
+        """Register a relation so SQL can reference it."""
+        return self.catalog.register(relation, replace=replace)
+
+    # ---------------------------------------------------------------- queries
+
+    def plan(self, sql: str, strategy: Optional[JoinStrategy] = None,
+             **query_options) -> QuerySpec:
+        """Plan SQL text into a :class:`QuerySpec` without running it."""
+        return self.planner.plan_sql(
+            sql, strategy=strategy or self.default_strategy, **query_options
+        )
+
+    def sql(self, sql: str, strategy: Optional[JoinStrategy] = None,
+            limit: Optional[int] = None, timeout_s: Optional[float] = None,
+            **query_options) -> ResultCursor:
+        """Submit a SQL query; returns its streaming :class:`ResultCursor`.
+
+        ``limit`` overrides the statement's ``LIMIT`` clause;
+        ``query_options`` are forwarded to the :class:`QuerySpec`
+        (``collection_window_s``, ``result_tuple_bytes``, ...).
+        """
+        query = self.plan(sql, strategy=strategy, **query_options)
+        if limit is not None:
+            if limit <= 0:
+                raise PlanError(f"LIMIT must be positive, got {limit}")
+            query.limit = limit
+        return self.query(query, timeout_s=timeout_s)
+
+    def query(self, query: QuerySpec, timeout_s: Optional[float] = None) -> ResultCursor:
+        """Submit an already-built :class:`QuerySpec` from this session's node."""
+        handle = self.executor.submit(query)
+        return ResultCursor(self.pier, self.executor, query, handle,
+                            timeout_s=timeout_s)
+
+    # ----------------------------------------------------------------- explain
+
+    def opgraph(self, sql: str, strategy: Optional[JoinStrategy] = None,
+                **query_options) -> OpGraph:
+        """The physical operator graph the SQL would run as."""
+        return build_opgraph(self.plan(sql, strategy=strategy, **query_options))
+
+    def explain(self, sql: str, strategy: Optional[JoinStrategy] = None,
+                **query_options) -> str:
+        """Render the physical operator graph for a SQL query (EXPLAIN)."""
+        return "\n".join(
+            self.opgraph(sql, strategy=strategy, **query_options).describe()
+        )
+
+    # -------------------------------------------------------------- continuous
+
+    def continuous(self, sql: str, period_s: float,
+                   strategy: Optional[JoinStrategy] = None,
+                   window_column: Optional[str] = None,
+                   window_s: Optional[float] = None,
+                   on_window=None, **query_options) -> PeriodicQuery:
+        """Set up a continuous (periodic, optionally windowed) query.
+
+        Returns the :class:`PeriodicQuery` — call ``start()`` to begin and
+        ``stop()`` to end it.  Each window is an ordinary PIER query; the
+        previous window's distributed state is torn down when the next one
+        is submitted, so long-running monitors stay bounded.
+
+        ``window_column``/``window_s`` restrict each execution to rows whose
+        timestamp column falls inside the trailing window.
+        """
+        template = self.plan(sql, strategy=strategy, **query_options)
+        window = None
+        if window_column is not None:
+            if window_s is None:
+                raise ValueError("window_column requires window_s")
+            window = SlidingWindowPredicate(window_column, window_s)
+        return PeriodicQuery(
+            self.executor, template, period_s,
+            window=window, on_window=on_window, teardown_previous=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PierClient(node={self.node}, catalog={self.catalog!r})"

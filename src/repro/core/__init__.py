@@ -34,7 +34,9 @@ from repro.core.query import (
     TableRef,
 )
 from repro.core.executor import QueryExecutor, QueryHandle
+from repro.core.opgraph import OpGraph, OpKind, OpNode, build_opgraph
 from repro.core.catalog import Catalog
+from repro.core.continuous import PeriodicQuery, SlidingWindowPredicate
 from repro.core.sql import parse_sql, SQLPlanner
 
 __all__ = [
@@ -59,6 +61,12 @@ __all__ = [
     "AggregateSpec",
     "QueryExecutor",
     "QueryHandle",
+    "OpGraph",
+    "OpKind",
+    "OpNode",
+    "build_opgraph",
+    "PeriodicQuery",
+    "SlidingWindowPredicate",
     "Catalog",
     "parse_sql",
     "SQLPlanner",

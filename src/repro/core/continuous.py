@@ -62,11 +62,19 @@ class PeriodicQuery:
     on_window:
         Optional callback invoked with each new :class:`QueryHandle` at the
         moment it is submitted.
+    teardown_previous:
+        When true, submitting a new window first tears down the previous
+        window's distributed state (probes, subscriptions, temporary
+        fragments) via :meth:`QueryExecutor.finish`, so long-running
+        monitors do not accumulate per-node query state.
+        ``PierClient.continuous`` enables this; direct construction keeps
+        the historical default (off) for back compatibility.
     """
 
     def __init__(self, executor, query_template: QuerySpec, period_s: float,
                  window: Optional[SlidingWindowPredicate] = None,
-                 on_window: Optional[Callable] = None):
+                 on_window: Optional[Callable] = None,
+                 teardown_previous: bool = False):
         if period_s <= 0:
             raise ValueError("continuous queries need a positive period")
         self.executor = executor
@@ -74,6 +82,7 @@ class PeriodicQuery:
         self.period_s = period_s
         self.window = window
         self.on_window = on_window
+        self.teardown_previous = teardown_previous
         self.handles: List = []
         self._timer = None
 
@@ -89,15 +98,24 @@ class PeriodicQuery:
             self.period_s, self._execute_window
         )
 
-    def stop(self) -> None:
-        """Stop scheduling further windows."""
+    def stop(self, teardown_last: bool = False) -> None:
+        """Stop scheduling further windows.
+
+        With ``teardown_last`` the final window's distributed state is torn
+        down as well (the teardown multicast is delivered as the simulation
+        keeps running).
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+        if teardown_last and self.handles:
+            self.executor.finish(self.handles[-1].query.query_id)
 
     # -------------------------------------------------------------- internals
 
     def _execute_window(self) -> None:
+        if self.teardown_previous and self.handles:
+            self.executor.finish(self.handles[-1].query.query_id)
         query = copy.deepcopy(self.query_template)
         query.query_id = next_query_id()
         if self.window is not None:

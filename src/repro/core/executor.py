@@ -1,29 +1,31 @@
-"""Per-node query executor: dissemination, distributed joins, aggregation.
+"""Per-node query executor: an operator-graph interpreter over the DHT.
 
 Every node runs one :class:`QueryExecutor`.  The initiating node calls
 :meth:`QueryExecutor.submit`, which multicasts the :class:`QuerySpec` into
-the query namespace; every reachable node's executor receives it and starts
-the node-local work dictated by the query's strategy:
+the query namespace; every reachable node lowers the spec into its physical
+operator graph (:func:`repro.core.opgraph.build_opgraph`) and *interprets*
+it:
 
-* **symmetric hash join** — ``lscan`` both tables, apply local selections,
-  project, and ``put`` each surviving tuple into the query's temporary
-  rehash namespace keyed by its join value; nodes owning partitions of that
-  namespace probe on every ``newData`` arrival and stream matches to the
-  initiator (paper §4.1).
-* **Fetch Matches** — ``lscan`` the non-indexed table and issue a ``get``
-  per tuple against the table already hashed on the join attribute; apply
-  the fetched side's predicates at the computation node (they cannot be
-  pushed into the DHT, §4.1).
-* **symmetric semi-join** — rehash only (resourceID, join key) projections,
-  probe as above, then fetch both full tuples of each surviving pair in
-  parallel (§4.2).
-* **Bloom join** — publish per-node Bloom filters of each side's join keys
-  to per-table collector namespaces; collectors OR them and multicast the
-  summaries; sources then rehash only tuples passing the opposite filter
-  (§4.2).
-* **aggregation** — partial aggregates are computed locally and shipped to
-  group owners (flat hash aggregation), optionally through the hierarchical
-  combiner tree of :mod:`repro.core.aggregation_tree`.
+* ``START`` nodes (scan chains) run immediately, feeding their terminal
+  exchange — rehash puts, Fetch Matches gets, Bloom filter publication,
+  partial-aggregate shipping, or the direct result hop to the initiator;
+* ``NEW_DATA`` nodes register Provider ``newData`` probes on the query's
+  temporary rehash namespace;
+* ``MULTICAST`` nodes subscribe to summary floods (Bloom distribution);
+* ``TIMER`` nodes schedule the collection-window flushes (Bloom collectors,
+  aggregation combiners and group owners).
+
+The four join strategies of paper Section 4 and both aggregation variants
+are therefore *graph constructions* in :mod:`repro.core.opgraph`; the
+executor contains one runner per operator kind and no per-strategy
+dispatch.  New strategies compose new graphs instead of forking this file.
+
+Queries are long-lived soft state.  :meth:`QueryExecutor.finish` multicasts
+a :class:`repro.core.query.QueryTeardown` control message that makes every
+node release the query's state — ``newData`` probes, multicast
+subscriptions, pending timers and locally stored temporary fragments — and
+stale per-query state is additionally reaped lazily once its soft-state
+lifetime elapses, so long simulations do not accumulate finished queries.
 
 Results are streamed directly to the initiator (single IP hop), which
 records per-tuple arrival times so the harness can report the paper's
@@ -33,18 +35,26 @@ records per-tuple arrival times so the harness can report the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core import aggregation_tree
 from repro.core.bloom import BloomFilter
-from repro.core.operators.aggregate import GroupByAggregate
-from repro.core.plan import (
-    build_final_aggregation,
-    build_partial_aggregation_pipeline,
-    build_source_pipeline,
-    finalize_aggregation_rows,
+from repro.core.opgraph import (
+    Activation,
+    OpGraph,
+    OpKind,
+    OpNode,
+    bloom_distribution_namespace,
+    build_opgraph,
 )
-from repro.core.query import JoinStrategy, QuerySpec
+from repro.core.operators.aggregate import GroupByAggregate
+from repro.core.operators.projection import Projection
+from repro.core.operators.scan import ProviderScan
+from repro.core.operators.selection import Selection
+from repro.core.operators.sink import Collector
+from repro.core.operators.base import Operator, chain
+from repro.core.plan import build_final_aggregation, finalize_aggregation_rows
+from repro.core.query import QuerySpec, QueryTeardown
 from repro.core.tuples import merge_rows, project_row, qualify
 from repro.dht.naming import hash_key
 from repro.dht.provider import DHTItem, Provider
@@ -55,10 +65,15 @@ from repro.net.node import Node
 QUERY_NAMESPACE = "__pier_queries__"
 #: Approximate wire size of a multicast query description.
 QUERY_MESSAGE_BYTES = 400
+#: Wire size of a multicast teardown control message.
+TEARDOWN_MESSAGE_BYTES = 50
 #: Wire size of one aggregation result row shipped to the initiator.
 AGG_RESULT_ROW_BYTES = 64
 #: Wire size of one shipped partial-aggregate record.
 PARTIAL_STATE_BYTES = 48
+#: How long a node remembers that a query was finished, so a teardown that
+#: overtakes its own query flood still suppresses the late-arriving query.
+FINISHED_MARKER_TTL_S = 600.0
 
 
 class QueryHandle:
@@ -139,15 +154,23 @@ class _PendingSemiJoinFetch:
 
 @dataclass
 class _NodeQueryState:
-    """Per-node bookkeeping for one active query."""
+    """Per-node bookkeeping for one active query (soft state)."""
 
     query: QuerySpec
+    graph: OpGraph
     arrived_at: float
-    bloom_accumulators: Dict[str, BloomFilter] = field(default_factory=dict)
-    bloom_received: Dict[str, bool] = field(default_factory=dict)
+    expires_at: float
     rehash_done_for: set = field(default_factory=set)
     pending_fetches: Dict[int, _PendingSemiJoinFetch] = field(default_factory=dict)
     fetch_sequence: int = 0
+    #: Registered ``newData`` callbacks, so teardown can unregister them.
+    new_data_registrations: List[Tuple[str, Any]] = field(default_factory=list)
+    #: Multicast subscriptions (Bloom distribution), likewise.
+    multicast_subscriptions: List[Tuple[str, Any]] = field(default_factory=list)
+    #: Pending timer handles (collection-window flushes).
+    timers: List[Any] = field(default_factory=list)
+    #: Temporary namespaces this node may hold fragments of.
+    temp_namespaces: Set[str] = field(default_factory=set)
 
 
 class QueryExecutor:
@@ -161,6 +184,8 @@ class QueryExecutor:
         self.provider = provider
         self._states: Dict[int, _NodeQueryState] = {}
         self._handles: Dict[int, QueryHandle] = {}
+        #: query_id -> teardown time, so late query floods are suppressed.
+        self._finished: Dict[int, float] = {}
         provider.on_multicast(QUERY_NAMESPACE, self._on_query_multicast)
         node.register_handler(self.PROTOCOL_RESULT, self._on_result)
         node.services[self.SERVICE_NAME] = self
@@ -177,6 +202,14 @@ class QueryExecutor:
         """Current virtual time."""
         return self.node.now
 
+    def active_query_ids(self) -> List[int]:
+        """Query ids with live per-node state on this executor."""
+        return sorted(self._states)
+
+    def has_query_state(self, query_id: int) -> bool:
+        """Whether this node still holds state for ``query_id``."""
+        return query_id in self._states
+
     # ------------------------------------------------------- initiator side
 
     def submit(self, query: QuerySpec) -> QueryHandle:
@@ -188,6 +221,20 @@ class QueryExecutor:
             QUERY_NAMESPACE, query.query_id, query, payload_bytes=QUERY_MESSAGE_BYTES
         )
         return handle
+
+    def finish(self, query_id: int) -> None:
+        """Tear a query down everywhere (initiator-side lifecycle call).
+
+        Multicasts a :class:`QueryTeardown` control message; every node
+        (including this one, synchronously) unregisters the query's probes
+        and subscriptions, cancels its timers, purges locally stored
+        temporary fragments and drops its per-query state.  Result rows
+        still in flight are discarded on arrival.
+        """
+        self.provider.multicast(
+            QUERY_NAMESPACE, ("teardown", query_id), QueryTeardown(query_id),
+            payload_bytes=TEARDOWN_MESSAGE_BYTES,
+        )
 
     def handle(self, query_id: int) -> QueryHandle:
         """Handle of a query previously submitted from this node."""
@@ -223,53 +270,128 @@ class QueryExecutor:
 
     # ----------------------------------------------------- participant side
 
-    def _on_query_multicast(self, namespace: str, resource_id, query: QuerySpec,
+    def _on_query_multicast(self, namespace: str, resource_id, item,
                             origin: int) -> None:
-        if query.query_id in self._states:
+        if isinstance(item, QueryTeardown):
+            self._finished[item.query_id] = self.now
+            self._teardown_local(item.query_id)
+            self._prune_finished_markers()
             return
-        state = _NodeQueryState(query=query, arrived_at=self.now)
+        query: QuerySpec = item
+        if query.query_id in self._states or query.query_id in self._finished:
+            return
+        self._expire_stale_states()
+        graph = build_opgraph(query)
+        state = _NodeQueryState(
+            query=query, graph=graph, arrived_at=self.now,
+            expires_at=self.now + query.temp_lifetime_s,
+            temp_namespaces=set(graph.temp_namespaces()),
+        )
         self._states[query.query_id] = state
+        self._instantiate(query, state)
 
-        if query.is_join:
-            strategy = query.strategy
-            if strategy is JoinStrategy.SYMMETRIC_HASH:
-                self._start_symmetric_hash(query, state)
-            elif strategy is JoinStrategy.FETCH_MATCHES:
-                self._start_fetch_matches(query, state)
-            elif strategy is JoinStrategy.SYMMETRIC_SEMI_JOIN:
-                self._start_semi_join(query, state)
-            elif strategy is JoinStrategy.BLOOM:
-                self._start_bloom(query, state)
-            else:  # pragma: no cover - enum is exhaustive
-                raise PlanError(f"unknown join strategy {strategy}")
-        elif query.is_aggregation and query.distributed_aggregation:
-            self._start_distributed_aggregation(query, state)
-        else:
-            self._start_scan_query(query, state)
+    # ------------------------------------------------------- graph interpreter
 
-    # ----------------------------------------------------- simple scan query
+    def _instantiate(self, query: QuerySpec, state: _NodeQueryState) -> None:
+        """Bring the query's operator graph to life on this node.
 
-    def _start_scan_query(self, query: QuerySpec, state: _NodeQueryState) -> None:
-        """Selection/projection-only query (or initiator-side aggregation)."""
-        alias = query.tables[0].alias
-        needed = None
-        if query.output_columns and not query.is_aggregation:
-            needed = [column.split(".", 1)[1] for column in query.output_columns_for(alias)]
-        scan, collector = build_source_pipeline(self.provider, query, alias,
-                                                project_to=needed)
+        Event- and timer-activated nodes are registered first (probes must be
+        listening before any rehash put can land), then the start-activated
+        scan chains run.
+        """
+        graph = state.graph
+        for node in graph.nodes:
+            if node.activation is Activation.NEW_DATA:
+                self._setup_probe(query, state, node)
+            elif node.activation is Activation.MULTICAST:
+                self._setup_multicast_gate(query, state, node)
+            elif node.activation is Activation.TIMER:
+                handle = self.node.schedule(
+                    node.params["delay_s"], self._run_timer_node, query, node
+                )
+                state.timers.append(handle)
+        for node in graph.nodes:
+            if node.activation is Activation.START:
+                self._run_source_chain(query, state, node)
+
+    # ----------------------------------------------------------- scan chains
+
+    def _run_source_chain(self, query: QuerySpec, state: _NodeQueryState,
+                          scan_node: OpNode,
+                          bloom_filter: Optional[BloomFilter] = None) -> None:
+        """Run a Scan → (Filter) → (Project) chain and feed its terminal node."""
+        graph = state.graph
+        alias = scan_node.params["alias"]
+        predicate = None
+        columns: Optional[List[str]] = None
+        node = scan_node
+        while True:
+            targets = graph.downstream(node)
+            if not targets:
+                return
+            downstream = targets[0][1]
+            if downstream.kind is OpKind.FILTER:
+                predicate = downstream.params["predicate"]
+            elif downstream.kind is OpKind.PROJECT:
+                columns = downstream.params["columns"]
+            else:
+                terminal = downstream
+                break
+            node = downstream
+
+        rows = self._scan_rows(query, alias, predicate, columns)
+        if terminal.kind is OpKind.REHASH:
+            self._run_rehash(query, state, terminal, rows, bloom_filter)
+        elif terminal.kind is OpKind.FETCH:
+            self._run_fetch_matches(query, state, terminal, rows)
+        elif terminal.kind is OpKind.BLOOM_BUILD:
+            self._run_bloom_build(query, state, terminal, rows)
+        elif terminal.kind is OpKind.PARTIAL_AGG:
+            self._run_partial_agg(query, state, terminal, rows)
+        elif terminal.kind is OpKind.SINK:
+            self._run_scan_sink(query, rows)
+        else:  # pragma: no cover - constructions only build the kinds above
+            raise PlanError(f"scan chain cannot terminate in {terminal.kind}")
+
+    def _scan_rows(self, query: QuerySpec, alias: str, predicate,
+                   columns: Optional[List[str]]) -> List[dict]:
+        """Execute the node-local scan → select → (project) pipeline."""
+        table = query.table(alias)
+        scan = ProviderScan(self.provider, table.namespace, name=f"Scan({alias})")
+        operators: List[Operator] = [scan, Selection(predicate, name=f"Select({alias})")]
+        if columns:
+            operators.append(Projection(columns, name=f"Project({alias})"))
+        collector = Collector(name=f"Collect({alias})")
+        operators.append(collector)
+        chain(*operators)
         scan.run()
-        rows = [qualify(alias, row) for row in collector.rows]
+        return collector.rows
+
+    # ------------------------------------------------------ terminal runners
+
+    def _run_scan_sink(self, query: QuerySpec, rows: List[dict]) -> None:
+        """Selection/projection-only query: qualify, project and ship."""
+        alias = query.tables[0].alias
+        rows = [qualify(alias, row) for row in rows]
         if query.output_columns and not query.is_aggregation:
             rows = [project_row(row, query.output_columns) for row in rows]
         self._send_results(query, rows, bytes_per_row=query.result_tuple_bytes)
 
-    # ------------------------------------------------- symmetric hash join
-
-    def _start_symmetric_hash(self, query: QuerySpec, state: _NodeQueryState) -> None:
-        rehash_namespace = query.rehash_namespace()
-        self._register_probe(query, rehash_namespace)
-        for alias in query.aliases:
-            self._rehash_table(query, alias, rehash_namespace)
+    def _run_rehash(self, query: QuerySpec, state: _NodeQueryState,
+                    node: OpNode, rows: List[dict],
+                    bloom_filter: Optional[BloomFilter] = None) -> int:
+        """Rehash surviving tuples on the join key into the temp namespace."""
+        namespace = node.params["namespace"]
+        key_column = node.params["key_column"]
+        alias = node.params["alias"]
+        entries: List[Tuple] = []
+        for row in rows:
+            join_value = row[key_column]
+            if bloom_filter is not None and join_value not in bloom_filter:
+                continue
+            entries.append((join_value, {"side": alias, "row": row}))
+        self._put_fragments(query, namespace, entries, node.params["item_bytes"])
+        return len(entries)
 
     def _put_fragments(self, query: QuerySpec, namespace: str,
                        entries: List[Tuple], item_bytes: int) -> None:
@@ -298,43 +420,34 @@ class QueryExecutor:
                 lifetime=query.temp_lifetime_s, item_bytes=item_bytes,
             )
 
-    def _rehash_table(self, query: QuerySpec, alias: str, rehash_namespace: str,
-                      bloom_filter: Optional[BloomFilter] = None) -> int:
-        """Scan/select/project a table locally and rehash survivors on the join key."""
-        scan, collector = build_source_pipeline(self.provider, query, alias)
-        scan.run()
-        key_column = query.join.key_column(alias)
-        item_bytes = query.projected_tuple_bytes(alias)
-        entries: List[Tuple] = []
-        for row in collector.rows:
-            join_value = row[key_column]
-            if bloom_filter is not None and join_value not in bloom_filter:
-                continue
-            entries.append((join_value, {"side": alias, "row": row}))
-        self._put_fragments(query, rehash_namespace, entries, item_bytes)
-        return len(entries)
+    # ----------------------------------------------------------------- probes
 
-    def _register_probe(self, query: QuerySpec, rehash_namespace: str,
-                        semi_join: bool = False) -> None:
+    def _setup_probe(self, query: QuerySpec, state: _NodeQueryState,
+                     node: OpNode) -> None:
         """Register the newData probe for the rehash namespace on this node."""
+        namespace = node.params["namespace"]
 
-        def _on_new(item: DHTItem, query=query, semi_join=semi_join) -> None:
-            self._probe(query, item, semi_join=semi_join)
+        def _on_new(item: DHTItem, query=query, node=node) -> None:
+            self._probe(query, item, node)
 
-        self.provider.on_new_data(rehash_namespace, _on_new)
+        self.provider.on_new_data(namespace, _on_new)
+        state.new_data_registrations.append((namespace, _on_new))
         # Process any fragments that arrived before this node learned of the
         # query (possible because rehash puts race the query multicast).
         backlog = sorted(
-            self.provider.lscan(rehash_namespace), key=lambda item: item.instance_id
+            self.provider.lscan(namespace), key=lambda item: item.instance_id
         )
         seen: List[DHTItem] = []
         for item in backlog:
-            self._probe(query, item, semi_join=semi_join, restrict_to=seen)
+            self._probe(query, item, node, restrict_to=seen)
             seen.append(item)
 
-    def _probe(self, query: QuerySpec, item: DHTItem, semi_join: bool = False,
+    def _probe(self, query: QuerySpec, item: DHTItem, probe_node: OpNode,
                restrict_to: Optional[List[DHTItem]] = None) -> None:
         """Probe the local rehash partition with a newly arrived fragment."""
+        state = self._states.get(query.query_id)
+        if state is None:
+            return
         value = item.value
         side = value["side"]
         row = value["row"]
@@ -358,7 +471,8 @@ class QueryExecutor:
                 matches.append((candidate_value["row"], row))
         if not matches:
             return
-        if semi_join:
+        downstream = state.graph.local_downstream(probe_node)
+        if downstream is not None and downstream.kind is OpKind.PAIR_FETCH:
             for left_row, right_row in matches:
                 self._fetch_semi_join_pair(query, left_row, right_row)
         else:
@@ -383,42 +497,24 @@ class QueryExecutor:
 
     # ------------------------------------------------------- fetch matches
 
-    def _fetch_sides(self, query: QuerySpec) -> Tuple[str, str]:
-        """Return ``(scan_alias, fetch_alias)`` for the Fetch Matches strategy.
-
-        The fetched side must already be hashed (stored) on its join
-        attribute, i.e. its join column is its resourceID column.
-        """
-        hashed = [
-            alias
-            for alias in query.aliases
-            if query.join.key_column(alias) == query.table(alias).relation.resource_id_column
-        ]
-        if not hashed:
-            raise PlanError(
-                "Fetch Matches requires one table to be hashed on its join attribute"
-            )
-        fetch_alias = hashed[-1]
-        scan_alias = query.join.other_alias(fetch_alias)
-        return scan_alias, fetch_alias
-
-    def _start_fetch_matches(self, query: QuerySpec, state: _NodeQueryState) -> None:
-        scan_alias, fetch_alias = self._fetch_sides(query)
-        scan, collector = build_source_pipeline(self.provider, query, scan_alias)
-        scan.run()
-        fetch_relation = query.table(fetch_alias).relation
-        key_column = query.join.key_column(scan_alias)
+    def _run_fetch_matches(self, query: QuerySpec, state: _NodeQueryState,
+                           node: OpNode, rows: List[dict]) -> None:
+        """Issue one ``get`` per scanned tuple (batched per owner) and join."""
+        scan_alias = node.params["scan_alias"]
+        fetch_alias = node.params["fetch_alias"]
+        namespace = node.params["namespace"]
+        key_column = node.params["key_column"]
         if not self.provider.batching:
             # Seed pattern: one get per scanned row, duplicates included.
-            for row in collector.rows:
+            for row in rows:
                 self.provider.get(
-                    fetch_relation.namespace, row[key_column],
+                    namespace, row[key_column],
                     lambda items, row=row: self._on_fetch_matches_reply(
                         query, scan_alias, fetch_alias, row, items),
                 )
             return
         rows_by_value: Dict[Any, List[dict]] = {}
-        for row in collector.rows:
+        for row in rows:
             rows_by_value.setdefault(row[key_column], []).append(row)
         if not rows_by_value:
             return
@@ -428,12 +524,13 @@ class QueryExecutor:
                 self._on_fetch_matches_reply(query, scan_alias, fetch_alias, row, items)
 
         # One get per distinct join value, grouped by owner on the wire.
-        self.provider.get_batch(fetch_relation.namespace,
-                                list(rows_by_value), _on_fetch)
+        self.provider.get_batch(namespace, list(rows_by_value), _on_fetch)
 
     def _on_fetch_matches_reply(self, query: QuerySpec, scan_alias: str,
                                 fetch_alias: str, scan_row: dict,
                                 items: List[DHTItem]) -> None:
+        if query.query_id not in self._states:
+            return  # torn down while the get was in flight
         predicate = query.local_predicates.get(fetch_alias)
         matches = []
         for item in items:
@@ -451,25 +548,6 @@ class QueryExecutor:
 
     # --------------------------------------------------- symmetric semi-join
 
-    def _start_semi_join(self, query: QuerySpec, state: _NodeQueryState) -> None:
-        rehash_namespace = query.rehash_namespace()
-        self._register_probe(query, rehash_namespace, semi_join=True)
-        for alias in query.aliases:
-            relation = query.table(alias).relation
-            key_column = query.join.key_column(alias)
-            projection = sorted({relation.resource_id_column, key_column})
-            scan, collector = build_source_pipeline(
-                self.provider, query, alias, project_to=projection
-            )
-            scan.run()
-            # Only resourceID + join key cross the network in this phase.
-            item_bytes = 8 * len(projection) + 8
-            entries = [
-                (row[key_column], {"side": alias, "row": row})
-                for row in collector.rows
-            ]
-            self._put_fragments(query, rehash_namespace, entries, item_bytes)
-
     def _fetch_semi_join_pair(self, query: QuerySpec, left_projection: dict,
                               right_projection: dict) -> None:
         """Fetch both full tuples of a matched projection pair, in parallel."""
@@ -482,6 +560,8 @@ class QueryExecutor:
         state.pending_fetches[pair_id] = pending
 
         def _collect(side: str, items: List[DHTItem]) -> None:
+            if query.query_id not in self._states:
+                return  # torn down while the fetches were in flight
             rows = [item.value for item in items if isinstance(item.value, dict)]
             if side == "left":
                 pending.left_rows = rows
@@ -514,44 +594,28 @@ class QueryExecutor:
 
     # -------------------------------------------------------------- bloom join
 
-    def _start_bloom(self, query: QuerySpec, state: _NodeQueryState) -> None:
-        rehash_namespace = query.rehash_namespace()
-        self._register_probe(query, rehash_namespace)
-        for alias in query.aliases:
-            # Subscribe to the distribution multicast of the *opposite* side's
-            # filter: when table ``alias``'s summary arrives, the other table
-            # gets rehashed against it.
-            distribution_namespace = self._bloom_distribution_namespace(query, alias)
-            self.provider.multicast_service.subscribe(
-                distribution_namespace,
-                lambda namespace, resource_id, item, origin, alias=alias: (
-                    self._on_bloom_filter(query, alias, item)
-                ),
-            )
-            # Build and publish the local filter for this side.  Collector
-            # nodes simply receive these puts; they OR whatever is stored
-            # locally when their collection window closes (no callback needed,
-            # which also covers filters that arrive before the collector has
-            # heard about the query).
-            self._publish_local_bloom(query, alias)
-        # If this node turns out to be a collector it must flush after the
-        # collection window; scheduling unconditionally is harmless.
-        self.node.schedule(query.collection_window_s, self._flush_bloom_collectors, query)
+    def _setup_multicast_gate(self, query: QuerySpec, state: _NodeQueryState,
+                              node: OpNode) -> None:
+        """Subscribe a Bloom gate to its summary-distribution namespace."""
+        distribution_namespace = node.params["distribution_namespace"]
 
-    @staticmethod
-    def _bloom_distribution_namespace(query: QuerySpec, alias: str) -> str:
-        return f"__pier_bloomdist_{query.query_id}_{alias}__"
+        def _handler(namespace, resource_id, item, origin, node=node) -> None:
+            self._on_bloom_filter(query, node, item)
 
-    def _publish_local_bloom(self, query: QuerySpec, alias: str) -> None:
-        scan, collector = build_source_pipeline(self.provider, query, alias)
-        scan.run()
-        if not collector.rows:
+        self.provider.multicast_service.subscribe(distribution_namespace, _handler)
+        state.multicast_subscriptions.append((distribution_namespace, _handler))
+
+    def _run_bloom_build(self, query: QuerySpec, state: _NodeQueryState,
+                         node: OpNode, rows: List[dict]) -> None:
+        """Build this side's local filter and publish it to its collectors."""
+        if not rows:
             return
-        key_column = query.join.key_column(alias)
+        namespace = node.params["namespace"]
+        key_column = node.params["key_column"]
         bloom = BloomFilter(query.bloom_bits, query.bloom_hashes)
-        bloom.update(row[key_column] for row in collector.rows)
+        bloom.update(row[key_column] for row in rows)
         self.provider.put_batch(
-            query.bloom_namespace(alias),
+            namespace,
             [("collector", bloom)],
             lifetime=query.temp_lifetime_s,
             item_bytes=bloom.size_bytes,
@@ -576,7 +640,7 @@ class QueryExecutor:
             if accumulator is None or accumulator.is_empty():
                 continue
             summaries.append((
-                self._bloom_distribution_namespace(query, alias),
+                bloom_distribution_namespace(query, alias),
                 "filter",
                 accumulator,
                 accumulator.size_bytes,
@@ -585,28 +649,34 @@ class QueryExecutor:
             # Both sides' summaries share one flood wave over the overlay.
             self.provider.multicast_batch(summaries)
 
-    def _on_bloom_filter(self, query: QuerySpec, filtered_alias: str,
+    def _on_bloom_filter(self, query: QuerySpec, gate_node: OpNode,
                          bloom: BloomFilter) -> None:
-        """A summary of ``filtered_alias``'s join keys arrived: rehash the other side."""
+        """A summary of one side's join keys arrived: rehash the other side."""
         state = self._states.get(query.query_id)
         if state is None:
             return
-        rehash_alias = query.join.other_alias(filtered_alias)
+        rehash_alias = gate_node.params["rehash_alias"]
         marker = (rehash_alias, "bloom-rehash")
         if marker in state.rehash_done_for:
             return
         state.rehash_done_for.add(marker)
-        self._rehash_table(query, rehash_alias, query.rehash_namespace(),
-                           bloom_filter=bloom)
+        scan_node = state.graph.local_downstream(gate_node)
+        self._run_source_chain(query, state, scan_node, bloom_filter=bloom)
 
     # ------------------------------------------------------------ aggregation
 
-    def _start_distributed_aggregation(self, query: QuerySpec,
-                                       state: _NodeQueryState) -> None:
-        namespace = query.aggregation_namespace()
-        alias = query.tables[0].alias
-        scan, partial = build_partial_aggregation_pipeline(self.provider, query, alias)
-        scan.run()
+    def _run_partial_agg(self, query: QuerySpec, state: _NodeQueryState,
+                         node: OpNode, rows: List[dict]) -> None:
+        """Compute local partial aggregates and ship them to their owners."""
+        namespace = node.params["namespace"]
+        alias = node.params["alias"]
+        partial = GroupByAggregate(
+            group_by=query.group_by,
+            aggregates=[(a.function, a.column, a.alias) for a in query.aggregates],
+            having=None,  # HAVING is applied only after partials are merged.
+            name=f"PartialAgg({alias})",
+        )
+        partial.push_many(qualify(alias, row) for row in rows)
         payloads = partial.partial_payloads()
         if query.hierarchical_aggregation:
             bucket = aggregation_tree.combiner_bucket(self.node.address, query.query_id)
@@ -615,27 +685,17 @@ class QueryExecutor:
                  {"group": group_key, "partials": states, "level": 1})
                 for group_key, states in payloads.items()
             ]
-            self.provider.put_batch(
-                namespace, entries,
-                lifetime=query.temp_lifetime_s, item_bytes=PARTIAL_STATE_BYTES,
-            )
-            self.node.schedule(
-                query.collection_window_s * 0.6, self._flush_combiners, query
-            )
         else:
             entries = [
                 (aggregation_tree.level0_resource_id(group_key),
                  {"group": group_key, "partials": states, "level": 0})
                 for group_key, states in payloads.items()
             ]
+        if entries:
             self.provider.put_batch(
                 namespace, entries,
                 lifetime=query.temp_lifetime_s, item_bytes=PARTIAL_STATE_BYTES,
             )
-        # The hierarchical path needs headroom for the extra combiner->owner
-        # hop before the final flush.
-        final_delay = query.collection_window_s * (1.3 if query.hierarchical_aggregation else 1.0)
-        self.node.schedule(final_delay, self._flush_aggregation, query)
 
     def _flush_combiners(self, query: QuerySpec) -> None:
         """Level-1 combiners merge what they received and forward level-0 partials."""
@@ -679,3 +739,63 @@ class QueryExecutor:
             return
         rows = finalize_aggregation_rows(query, final)
         self._send_results(query, rows, bytes_per_row=AGG_RESULT_ROW_BYTES)
+
+    # ------------------------------------------------------------ timer nodes
+
+    def _run_timer_node(self, query: QuerySpec, node: OpNode) -> None:
+        """Dispatch a collection-window flush when its timer fires."""
+        if query.query_id not in self._states:
+            return
+        if node.kind is OpKind.BLOOM_COMBINE:
+            self._flush_bloom_collectors(query)
+        elif node.kind is OpKind.COMBINE_AGG:
+            self._flush_combiners(query)
+        elif node.kind is OpKind.FINAL_AGG:
+            self._flush_aggregation(query)
+        else:  # pragma: no cover - constructions only build the kinds above
+            raise PlanError(f"unexpected timer node {node.kind}")
+
+    # ---------------------------------------------------------- query teardown
+
+    def _teardown_local(self, query_id: int) -> bool:
+        """Release everything this node holds for ``query_id``.
+
+        Unregisters ``newData`` probes and multicast subscriptions, cancels
+        pending collection-window timers, purges locally stored temporary
+        fragments and forgets the per-query state and (at the initiator) the
+        handle registration, so late result messages are dropped.
+        """
+        state = self._states.pop(query_id, None)
+        self._handles.pop(query_id, None)
+        if state is None:
+            return False
+        for namespace, callback in state.new_data_registrations:
+            self.provider.off_new_data(namespace, callback)
+        for namespace, handler in state.multicast_subscriptions:
+            self.provider.multicast_service.unsubscribe(namespace, handler)
+        for timer in state.timers:
+            timer.cancel()
+        for namespace in state.temp_namespaces:
+            self.provider.purge_namespace(namespace)
+        state.pending_fetches.clear()
+        return True
+
+    def _expire_stale_states(self) -> None:
+        """Lazily reap per-query state whose soft-state lifetime has elapsed.
+
+        Invoked whenever a new query arrives, so long-running simulations
+        with many queries (continuous/periodic workloads) stay bounded even
+        when nobody calls :meth:`finish` explicitly.
+        """
+        now = self.now
+        stale = [query_id for query_id, state in self._states.items()
+                 if now >= state.expires_at]
+        for query_id in stale:
+            self._teardown_local(query_id)
+
+    def _prune_finished_markers(self) -> None:
+        now = self.now
+        stale = [query_id for query_id, when in self._finished.items()
+                 if now - when > FINISHED_MARKER_TTL_S]
+        for query_id in stale:
+            del self._finished[query_id]

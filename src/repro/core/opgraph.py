@@ -1,0 +1,555 @@
+"""Physical operator graphs: PIER's "boxes and arrows" dataflow as an IR.
+
+The paper describes the core engine as receiving an *operator graph* from the
+layers above it — boxes (physical operators) wired by arrows (local queues,
+DHT exchanges, multicasts).  This module makes that graph explicit:
+:func:`build_opgraph` lowers a :class:`repro.core.query.QuerySpec` into an
+:class:`OpGraph` whose nodes are physical operators (scan, filter, project,
+rehash-exchange, probe, bloom build/combine, partial/final aggregation,
+sink) and whose edges carry a kind (local pipeline, DHT exchange, multicast
+flood, or the direct IP hop to the initiator).
+
+The :class:`repro.core.executor.QueryExecutor` is a *graph interpreter*: it
+instantiates whatever graph it is handed, so each join strategy and the
+aggregation variants are purely graph **constructions** here — adding a new
+strategy means composing a new graph, not forking the executor.
+
+Every node also carries an ``activation`` describing *when* it runs on a
+participating node:
+
+* ``START`` — as soon as the query (and therefore the graph) arrives;
+* ``NEW_DATA`` — on Provider ``newData`` callbacks for a namespace (probes);
+* ``MULTICAST`` — on arrival of a multicast in a namespace (Bloom summaries);
+* ``TIMER`` — once, ``params["delay_s"]`` seconds after query arrival
+  (collection windows);
+* ``DOWNSTREAM`` — only when an upstream node feeds it.
+
+``OpGraph.describe()`` renders the graph as the human-readable physical plan
+surfaced by ``PierClient.explain``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.query import JoinStrategy, QuerySpec
+from repro.exceptions import PlanError
+
+
+class OpKind(enum.Enum):
+    """Physical operator kinds (the boxes)."""
+
+    SCAN = "Scan"
+    FILTER = "Filter"
+    PROJECT = "Project"
+    REHASH = "RehashExchange"
+    PROBE = "Probe"
+    FETCH = "FetchMatches"
+    PAIR_FETCH = "PairFetch"
+    BLOOM_BUILD = "BloomBuild"
+    BLOOM_COMBINE = "BloomCombine"
+    BLOOM_GATE = "BloomGate"
+    PARTIAL_AGG = "PartialAgg"
+    COMBINE_AGG = "CombineAgg"
+    FINAL_AGG = "FinalAgg"
+    RESIDUAL = "ResidualFilter"
+    MERGE_PROJECT = "MergeProject"
+    INITIATOR_AGG = "InitiatorAgg"
+    SINK = "Sink"
+
+
+class EdgeKind(enum.Enum):
+    """How rows travel between two operators (the arrows)."""
+
+    LOCAL = "local"            # same-node operator pipeline
+    DHT_EXCHANGE = "dht"       # put/get through the DHT (rehash, fetch)
+    MULTICAST = "multicast"    # overlay flood (Bloom summary distribution)
+    DIRECT = "ip"              # single IP hop to the initiator
+
+
+class Activation(enum.Enum):
+    """When a node starts doing work on a participant."""
+
+    START = "start"
+    NEW_DATA = "newData"
+    MULTICAST = "multicast"
+    TIMER = "timer"
+    DOWNSTREAM = "downstream"
+
+
+@dataclass
+class OpNode:
+    """One physical operator instance in the graph."""
+
+    op_id: int
+    kind: OpKind
+    label: str
+    activation: Activation
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.op_id}] {self.label}"
+
+
+@dataclass(frozen=True)
+class OpEdge:
+    """A directed arrow between two operators."""
+
+    src: int
+    dst: int
+    kind: EdgeKind
+
+
+#: Arrow rendering per edge kind, used by :meth:`OpGraph.describe`.
+_ARROWS = {
+    EdgeKind.LOCAL: "->",
+    EdgeKind.DHT_EXCHANGE: "=dht=>",
+    EdgeKind.MULTICAST: "=mcast=>",
+    EdgeKind.DIRECT: "=ip=>",
+}
+
+
+class OpGraph:
+    """A physical operator graph for one query."""
+
+    def __init__(self, query: QuerySpec):
+        self.query = query
+        self.nodes: List[OpNode] = []
+        self.edges: List[OpEdge] = []
+
+    # -------------------------------------------------------------- building
+
+    def add(self, kind: OpKind, label: str,
+            activation: Activation = Activation.DOWNSTREAM,
+            **params: Any) -> OpNode:
+        """Create a node and return it."""
+        node = OpNode(op_id=len(self.nodes), kind=kind, label=label,
+                      activation=activation, params=params)
+        self.nodes.append(node)
+        return node
+
+    def connect(self, src: OpNode, dst: OpNode,
+                kind: EdgeKind = EdgeKind.LOCAL) -> OpNode:
+        """Wire ``src -> dst``; returns ``dst`` for chaining."""
+        self.edges.append(OpEdge(src.op_id, dst.op_id, kind))
+        return dst
+
+    # ------------------------------------------------------------- traversal
+
+    def node(self, op_id: int) -> OpNode:
+        """Node by id."""
+        return self.nodes[op_id]
+
+    def downstream(self, node: OpNode) -> List[Tuple[OpEdge, OpNode]]:
+        """Outgoing edges of ``node`` with their target nodes, in wiring order."""
+        return [(edge, self.nodes[edge.dst])
+                for edge in self.edges if edge.src == node.op_id]
+
+    def local_downstream(self, node: OpNode) -> Optional[OpNode]:
+        """The first node fed by ``node`` over a LOCAL edge (or ``None``)."""
+        for edge, target in self.downstream(node):
+            if edge.kind is EdgeKind.LOCAL:
+                return target
+        return None
+
+    def roots(self) -> List[OpNode]:
+        """Nodes that are activated by something other than an upstream node."""
+        return [node for node in self.nodes
+                if node.activation is not Activation.DOWNSTREAM]
+
+    def nodes_of_kind(self, kind: OpKind) -> List[OpNode]:
+        """All nodes of the given kind."""
+        return [node for node in self.nodes if node.kind is kind]
+
+    #: Node kinds whose ``namespace`` param is a *temporary* (per-query)
+    #: namespace.  FETCH is deliberately absent: its namespace is the base
+    #: relation being probed, never to be purged.
+    _TEMP_NAMESPACE_KINDS = frozenset({
+        OpKind.PROBE, OpKind.REHASH, OpKind.BLOOM_BUILD,
+        OpKind.PARTIAL_AGG, OpKind.COMBINE_AGG, OpKind.FINAL_AGG,
+    })
+
+    def temp_namespaces(self) -> List[str]:
+        """Temporary namespaces this query may leave fragments in.
+
+        Teardown purges these on every node, whether or not the node
+        actively published into them (Bloom collectors, group owners and
+        probe owners store other nodes' fragments).
+        """
+        namespaces = {
+            node.params["namespace"]
+            for node in self.nodes
+            if node.kind in self._TEMP_NAMESPACE_KINDS and "namespace" in node.params
+        }
+        return sorted(namespaces)
+
+    # -------------------------------------------------------------- describe
+
+    def flavor(self) -> str:
+        """Short description of the query shape this graph implements."""
+        query = self.query
+        if query.is_join:
+            text = f"{query.strategy.value} join"
+            if query.is_aggregation:
+                text += " + initiator aggregation"
+            return text
+        if query.is_aggregation and query.distributed_aggregation:
+            if query.hierarchical_aggregation:
+                return "hierarchical in-network aggregation"
+            return "distributed hash aggregation"
+        if query.is_aggregation:
+            return "scan + initiator aggregation"
+        return "selection/projection scan"
+
+    def describe(self) -> List[str]:
+        """Human-readable physical plan, one line per operator."""
+        lines = [f"Query {self.query.query_id} physical plan ({self.flavor()})"]
+        printed: set = set()
+        for root in self.roots():
+            lines.append(f"  on {self._activation_text(root)}:")
+            self._describe_chain(root, lines, indent="    ", arrow="",
+                                 printed=printed)
+        return lines
+
+    @staticmethod
+    def _activation_text(node: OpNode) -> str:
+        if node.activation is Activation.NEW_DATA:
+            return f"newData({node.params.get('namespace', '?')})"
+        if node.activation is Activation.MULTICAST:
+            return f"multicast({node.params.get('distribution_namespace', '?')})"
+        if node.activation is Activation.TIMER:
+            return f"timer(+{node.params.get('delay_s', 0):g}s)"
+        return "start"
+
+    def _describe_chain(self, node: OpNode, lines: List[str], indent: str,
+                        arrow: str, printed: set) -> None:
+        prefix = f"{indent}{arrow} " if arrow else indent
+        if node.op_id in printed:
+            # Converging edges (e.g. both rehash chains feed one probe) are
+            # shown as references instead of re-printing the subtree.
+            lines.append(f"{prefix}[{node.op_id}] {node.label} (see above)")
+            return
+        printed.add(node.op_id)
+        lines.append(f"{prefix}[{node.op_id}] {node.label}")
+        for edge, target in self.downstream(node):
+            self._describe_chain(target, lines, indent + "  ",
+                                 _ARROWS[edge.kind], printed)
+
+
+# --------------------------------------------------------------------- lowering
+
+
+def fetch_sides(query: QuerySpec) -> Tuple[str, str]:
+    """``(scan_alias, fetch_alias)`` for the Fetch Matches strategy.
+
+    The fetched side must already be hashed (stored) on its join attribute,
+    i.e. its join column is its resourceID column.
+    """
+    hashed = [
+        alias
+        for alias in query.aliases
+        if query.join.key_column(alias) == query.table(alias).relation.resource_id_column
+    ]
+    if not hashed:
+        raise PlanError(
+            "Fetch Matches requires one table to be hashed on its join attribute"
+        )
+    fetch_alias = hashed[-1]
+    scan_alias = query.join.other_alias(fetch_alias)
+    return scan_alias, fetch_alias
+
+
+def build_opgraph(query: QuerySpec) -> OpGraph:
+    """Lower a :class:`QuerySpec` into its physical operator graph."""
+    graph = OpGraph(query)
+    if query.is_join:
+        strategy = query.strategy
+        if strategy is JoinStrategy.SYMMETRIC_HASH:
+            _build_symmetric_hash(graph)
+        elif strategy is JoinStrategy.FETCH_MATCHES:
+            _build_fetch_matches(graph)
+        elif strategy is JoinStrategy.SYMMETRIC_SEMI_JOIN:
+            _build_semi_join(graph)
+        elif strategy is JoinStrategy.BLOOM:
+            _build_bloom(graph)
+        else:  # pragma: no cover - enum is exhaustive
+            raise PlanError(f"unknown join strategy {strategy}")
+    elif query.is_aggregation and query.distributed_aggregation:
+        _build_distributed_aggregation(graph)
+    else:
+        _build_scan(graph)
+    return graph
+
+
+# ------------------------------------------------------------------- helpers
+
+
+def _source_chain(graph: OpGraph, alias: str,
+                  columns: Optional[List[str]] = None,
+                  activation: Activation = Activation.START,
+                  upstream: Optional[OpNode] = None) -> OpNode:
+    """Scan → (filter) → (project) chain for one table; returns the last node.
+
+    ``columns`` defaults to the columns the query needs from this side after
+    the join; pass an explicit list to override (semi-join projections), or
+    ``None`` via ``project=False`` semantics is not needed here because every
+    chain in this engine projects.
+    """
+    query = graph.query
+    scan = graph.add(OpKind.SCAN, f"Scan({alias})", activation, alias=alias)
+    if upstream is not None:
+        graph.connect(upstream, scan, EdgeKind.LOCAL)
+    last = scan
+    predicate = query.local_predicates.get(alias)
+    if predicate is not None:
+        last = graph.connect(last, graph.add(
+            OpKind.FILTER, f"Filter({alias}: {predicate!r})",
+            predicate=predicate, alias=alias,
+        ))
+    if columns is None:
+        columns = query.columns_needed_from(alias)
+    if columns:
+        last = graph.connect(last, graph.add(
+            OpKind.PROJECT, f"Project({alias}: {', '.join(columns)})",
+            columns=list(columns), alias=alias,
+        ))
+    return last
+
+
+def _join_tail(graph: OpGraph, upstream: OpNode,
+               upstream_edge: EdgeKind = EdgeKind.LOCAL) -> OpNode:
+    """Residual filter → merge/project → sink chain after matches are formed."""
+    query = graph.query
+    last = upstream
+    edge = upstream_edge
+    if query.post_join_predicate is not None:
+        last = graph.connect(last, graph.add(
+            OpKind.RESIDUAL, f"ResidualFilter({query.post_join_predicate!r})",
+            predicate=query.post_join_predicate,
+        ), edge)
+        edge = EdgeKind.LOCAL
+    output = ", ".join(query.output_columns) if query.output_columns else "*"
+    merge = graph.connect(last, graph.add(
+        OpKind.MERGE_PROJECT, f"MergeProject({output})",
+        columns=list(query.output_columns),
+    ), edge)
+    sink = graph.connect(merge, graph.add(
+        OpKind.SINK, "Sink(initiator)",
+    ), EdgeKind.DIRECT)
+    if query.is_aggregation:
+        # Join + aggregation: grouping happens at the initiator over the
+        # streamed join rows (see SQLPlanner), after the sink.
+        graph.connect(sink, _initiator_agg_node(graph), EdgeKind.LOCAL)
+    return sink
+
+
+def _initiator_agg_node(graph: OpGraph) -> OpNode:
+    query = graph.query
+    aggregates = ", ".join(
+        f"{a.function}({a.column or '*'}) AS {a.alias}" for a in query.aggregates
+    )
+    grouping = ", ".join(query.group_by) or "()"
+    return graph.add(
+        OpKind.INITIATOR_AGG,
+        f"InitiatorAgg(group by {grouping} computing [{aggregates}])",
+    )
+
+
+def _probe_and_tail(graph: OpGraph, semi_join: bool = False) -> OpNode:
+    """The newData-driven probe of the rehash namespace plus its result tail."""
+    query = graph.query
+    namespace = query.rehash_namespace()
+    probe = graph.add(
+        OpKind.PROBE, f"Probe({namespace})", Activation.NEW_DATA,
+        namespace=namespace, semi_join=semi_join,
+    )
+    if semi_join:
+        left = query.table(query.join.left_alias).relation
+        right = query.table(query.join.right_alias).relation
+        pair = graph.connect(probe, graph.add(
+            OpKind.PAIR_FETCH,
+            f"PairFetch(get {left.namespace}[rid], {right.namespace}[rid])",
+            left_namespace=left.namespace, right_namespace=right.namespace,
+        ), EdgeKind.LOCAL)
+        rejoin = graph.connect(pair, graph.add(
+            OpKind.FILTER,
+            f"RejoinFilter({query.join.left_alias}.{query.join.left_column}"
+            f" = {query.join.right_alias}.{query.join.right_column})",
+        ), EdgeKind.DHT_EXCHANGE)
+        _join_tail(graph, rejoin)
+    else:
+        _join_tail(graph, probe)
+    return probe
+
+
+def _rehash_node(graph: OpGraph, alias: str, item_bytes: int) -> OpNode:
+    query = graph.query
+    namespace = query.rehash_namespace()
+    key_column = query.join.key_column(alias)
+    return graph.add(
+        OpKind.REHASH,
+        f"RehashExchange({alias}.{key_column} -> {namespace})",
+        alias=alias, namespace=namespace, key_column=key_column,
+        item_bytes=item_bytes,
+    )
+
+
+# ---------------------------------------------------------------- strategies
+
+
+def _build_scan(graph: OpGraph) -> None:
+    """Selection/projection-only query (or initiator-side aggregation)."""
+    query = graph.query
+    alias = query.tables[0].alias
+    if query.output_columns and not query.is_aggregation:
+        columns = [column.split(".", 1)[1]
+                   for column in query.output_columns_for(alias)]
+    else:
+        columns = query.columns_needed_from(alias)
+    last = _source_chain(graph, alias, columns=columns)
+    sink = graph.connect(last, graph.add(OpKind.SINK, "Sink(initiator)"),
+                         EdgeKind.DIRECT)
+    if query.is_aggregation:
+        graph.connect(sink, _initiator_agg_node(graph), EdgeKind.LOCAL)
+
+
+def _build_symmetric_hash(graph: OpGraph) -> None:
+    """Rehash both tables on the join key; probe on every newData arrival."""
+    query = graph.query
+    probe = _probe_and_tail(graph)
+    for alias in query.aliases:
+        last = _source_chain(graph, alias)
+        rehash = graph.connect(
+            last, _rehash_node(graph, alias, query.projected_tuple_bytes(alias))
+        )
+        graph.connect(rehash, probe, EdgeKind.DHT_EXCHANGE)
+
+
+def _build_fetch_matches(graph: OpGraph) -> None:
+    """Scan the non-indexed table; ``get`` the side hashed on the join key."""
+    query = graph.query
+    scan_alias, fetch_alias = fetch_sides(query)
+    fetch_relation = query.table(fetch_alias).relation
+    key_column = query.join.key_column(scan_alias)
+    last = _source_chain(graph, scan_alias)
+    fetch = graph.connect(last, graph.add(
+        OpKind.FETCH,
+        f"FetchMatches(get {fetch_relation.namespace}[{scan_alias}.{key_column}])",
+        scan_alias=scan_alias, fetch_alias=fetch_alias,
+        namespace=fetch_relation.namespace, key_column=key_column,
+    ))
+    predicate = query.local_predicates.get(fetch_alias)
+    tail_head: OpNode = fetch
+    edge = EdgeKind.DHT_EXCHANGE
+    if predicate is not None:
+        # The fetched side's predicate cannot be pushed into the DHT; it is
+        # applied at the computation node on the fetched tuples (§4.1).
+        tail_head = graph.connect(fetch, graph.add(
+            OpKind.FILTER, f"Filter({fetch_alias}: {predicate!r})",
+            predicate=predicate, alias=fetch_alias,
+        ), edge)
+        edge = EdgeKind.LOCAL
+    _join_tail(graph, tail_head, upstream_edge=edge)
+
+
+def _build_semi_join(graph: OpGraph) -> None:
+    """Rehash only (resourceID, join key) projections; fetch survivors."""
+    query = graph.query
+    probe = _probe_and_tail(graph, semi_join=True)
+    for alias in query.aliases:
+        relation = query.table(alias).relation
+        key_column = query.join.key_column(alias)
+        projection = sorted({relation.resource_id_column, key_column})
+        # Only resourceID + join key cross the network in this phase.
+        item_bytes = 8 * len(projection) + 8
+        last = _source_chain(graph, alias, columns=projection)
+        rehash = graph.connect(last, _rehash_node(graph, alias, item_bytes))
+        graph.connect(rehash, probe, EdgeKind.DHT_EXCHANGE)
+
+
+def _build_bloom(graph: OpGraph) -> None:
+    """Publish per-side Bloom filters; rehash only tuples passing the other's."""
+    query = graph.query
+    probe = _probe_and_tail(graph)
+    combine = graph.add(
+        OpKind.BLOOM_COMBINE,
+        f"BloomCombine(OR filters of {', '.join(query.aliases)}; multicast)",
+        Activation.TIMER,
+        delay_s=query.collection_window_s, aliases=list(query.aliases),
+    )
+    for alias in query.aliases:
+        # Build and publish this side's local filter to its collectors.
+        last = _source_chain(graph, alias)
+        build = graph.connect(last, graph.add(
+            OpKind.BLOOM_BUILD,
+            f"BloomBuild({alias}.{query.join.key_column(alias)}"
+            f" -> {query.bloom_namespace(alias)}, {query.bloom_bits} bits)",
+            alias=alias, namespace=query.bloom_namespace(alias),
+            key_column=query.join.key_column(alias),
+        ))
+        graph.connect(build, combine, EdgeKind.DHT_EXCHANGE)
+        # When the OR-ed summary of ``alias`` arrives, rehash the *other*
+        # side against it.
+        other = query.join.other_alias(alias)
+        distribution_namespace = bloom_distribution_namespace(query, alias)
+        gate = graph.add(
+            OpKind.BLOOM_GATE,
+            f"BloomGate(on {alias} summary: rehash {other})",
+            Activation.MULTICAST,
+            filtered_alias=alias, rehash_alias=other,
+            distribution_namespace=distribution_namespace,
+        )
+        graph.connect(combine, gate, EdgeKind.MULTICAST)
+        gated = _source_chain(graph, other, activation=Activation.DOWNSTREAM,
+                              upstream=gate)
+        rehash = graph.connect(
+            gated, _rehash_node(graph, other, query.projected_tuple_bytes(other))
+        )
+        graph.connect(rehash, probe, EdgeKind.DHT_EXCHANGE)
+
+
+def _build_distributed_aggregation(graph: OpGraph) -> None:
+    """Ship partial aggregates to group owners (optionally via combiners)."""
+    query = graph.query
+    alias = query.tables[0].alias
+    aggregates = ", ".join(
+        f"{a.function}({a.column or '*'}) AS {a.alias}" for a in query.aggregates
+    )
+    grouping = ", ".join(query.group_by) or "()"
+    namespace = query.aggregation_namespace()
+    last = _source_chain(graph, alias, columns=[])
+    partial = graph.connect(last, graph.add(
+        OpKind.PARTIAL_AGG,
+        f"PartialAgg(group by {grouping} computing [{aggregates}]"
+        f" -> {namespace})",
+        alias=alias, namespace=namespace,
+    ))
+    final_delay = query.collection_window_s * (
+        1.3 if query.hierarchical_aggregation else 1.0
+    )
+    having = f", having {query.having!r}" if query.having is not None else ""
+    final = graph.add(
+        OpKind.FINAL_AGG,
+        f"FinalAgg(merge partials at group owners{having})",
+        Activation.TIMER, delay_s=final_delay, namespace=namespace,
+    )
+    if query.hierarchical_aggregation:
+        combine = graph.add(
+            OpKind.COMBINE_AGG,
+            "CombineAgg(level-1 combiners merge and forward)",
+            Activation.TIMER,
+            delay_s=query.collection_window_s * 0.6, namespace=namespace,
+        )
+        graph.connect(partial, combine, EdgeKind.DHT_EXCHANGE)
+        graph.connect(combine, final, EdgeKind.DHT_EXCHANGE)
+    else:
+        graph.connect(partial, final, EdgeKind.DHT_EXCHANGE)
+    graph.connect(final, graph.add(OpKind.SINK, "Sink(initiator)"),
+                  EdgeKind.DIRECT)
+
+
+def bloom_distribution_namespace(query: QuerySpec, alias: str) -> str:
+    """Namespace over which the OR-ed summary of ``alias`` is multicast."""
+    return f"__pier_bloomdist_{query.query_id}_{alias}__"

@@ -1,47 +1,24 @@
-"""Local plan construction: from a QuerySpec to per-node operator pipelines.
+"""Node-local aggregation plan helpers shared by the graph interpreter.
 
-The distributed choreography (who rehashes what, where probes happen) lives
-in :mod:`repro.core.executor`; this module builds the node-local "boxes and
-arrows" that the executor feeds: scan → select → project → collect pipelines
-for the source-side work, and group-by pipelines for the aggregation phases.
-Keeping plan construction separate lets tests exercise the pipelines without
-a network, and lets the executor stay focused on messaging.
+The distributed choreography lives in :mod:`repro.core.executor`, which
+interprets the physical operator graphs of :mod:`repro.core.opgraph`; this
+module keeps the pieces of node-local plan logic that are shared between
+the executor's aggregation runners and the initiator-side finalisation
+(merging partial group-by states, derived columns, HAVING), plus small
+in-memory pipeline and plan-description helpers used by tests and examples.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List
 
 from repro.core.operators.aggregate import GroupByAggregate
 from repro.core.operators.base import Operator, chain
-from repro.core.operators.projection import Projection, Qualify
-from repro.core.operators.scan import ListScan, ProviderScan
+from repro.core.operators.projection import Projection
+from repro.core.operators.scan import ListScan
 from repro.core.operators.selection import Selection
 from repro.core.operators.sink import Collector
 from repro.core.query import QuerySpec
-
-
-def build_source_pipeline(provider, query: QuerySpec, alias: str,
-                          project_to: Optional[Sequence[str]] = None
-                          ) -> Tuple[ProviderScan, Collector]:
-    """Scan → select → (project) → collect pipeline for one table on one node.
-
-    ``project_to`` defaults to the columns the query needs from this side
-    after the join (join key, output columns, residual-predicate columns).
-    Returns the source operator (call ``run()`` on it) and the terminal
-    collector whose rows the executor then ships.
-    """
-    table = query.table(alias)
-    scan = ProviderScan(provider, table.namespace, name=f"Scan({alias})")
-    select = Selection(query.local_predicates.get(alias), name=f"Select({alias})")
-    collector = Collector(name=f"Collect({alias})")
-    columns = list(project_to) if project_to is not None else query.columns_needed_from(alias)
-    operators: List[Operator] = [scan, select]
-    if columns:
-        operators.append(Projection(columns, name=f"Project({alias})"))
-    operators.append(collector)
-    chain(*operators)
-    return scan, collector
 
 
 def build_local_filter_pipeline(rows, predicate, columns=None) -> List[dict]:
@@ -60,28 +37,6 @@ def build_local_filter_pipeline(rows, predicate, columns=None) -> List[dict]:
     chain(*operators)
     scan.run()
     return collector.rows
-
-
-def build_partial_aggregation_pipeline(provider, query: QuerySpec, alias: str
-                                       ) -> Tuple[ProviderScan, GroupByAggregate]:
-    """Scan → select → qualify → partial group-by pipeline for one node.
-
-    The resulting :class:`GroupByAggregate` holds this node's partial states;
-    the executor ships them to the group owners (flat hash grouping) or up
-    the aggregation tree (hierarchical extension).
-    """
-    table = query.table(alias)
-    scan = ProviderScan(provider, table.namespace, name=f"Scan({alias})")
-    select = Selection(query.local_predicates.get(alias), name=f"Select({alias})")
-    qualify = Qualify(alias)
-    aggregate = GroupByAggregate(
-        group_by=query.group_by,
-        aggregates=[(a.function, a.column, a.alias) for a in query.aggregates],
-        having=None,  # HAVING is applied only after partials are merged.
-        name=f"PartialAgg({alias})",
-    )
-    chain(scan, select, qualify, aggregate)
-    return scan, aggregate
 
 
 def build_final_aggregation(query: QuerySpec) -> GroupByAggregate:

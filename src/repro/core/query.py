@@ -40,6 +40,19 @@ def next_query_id() -> int:
     return next(_query_ids)
 
 
+@dataclass(frozen=True)
+class QueryTeardown:
+    """Control message multicast into the query namespace to end a query.
+
+    Every node receiving it releases the query's soft state immediately —
+    ``newData`` probes, multicast subscriptions, pending collection-window
+    timers and locally stored temporary fragments; anything still in flight
+    is dropped on arrival or left to soft-state expiry.
+    """
+
+    query_id: int
+
+
 class JoinStrategy(enum.Enum):
     """Distributed equi-join algorithms / rewrites (paper Section 4)."""
 
@@ -128,6 +141,10 @@ class QuerySpec:
     #: Use the hierarchical in-network aggregation extension instead of flat
     #: hash grouping (ablation of the paper's future-work discussion).
     hierarchical_aggregation: bool = False
+    #: Initiator-side cap on delivered result rows (SQL ``LIMIT n``).  The
+    #: limit is enforced by the :class:`repro.client.ResultCursor`, which
+    #: stops delivering rows and cancels the dataflow once satisfied.
+    limit: Optional[int] = None
     query_id: int = field(default_factory=next_query_id)
     initiator: int = 0
     #: Wire size of one result tuple delivered to the initiator (the paper
@@ -164,6 +181,8 @@ class QuerySpec:
             raise PlanError("HAVING requires at least one aggregate")
         if not self.output_columns and not self.aggregates and not self.group_by:
             raise PlanError("query produces no output columns")
+        if self.limit is not None and self.limit <= 0:
+            raise PlanError(f"LIMIT must be positive, got {self.limit}")
 
     # ------------------------------------------------------------- utilities
 

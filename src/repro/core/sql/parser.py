@@ -67,6 +67,7 @@ class SelectStatement:
     where: Optional[Expression] = None
     group_by: List[str] = field(default_factory=list)
     having: Optional[Expression] = None
+    limit: Optional[int] = None
 
 
 class _Parser:
@@ -119,6 +120,9 @@ class _Parser:
         having = None
         if self.accept("keyword", "HAVING"):
             having = self.parse_expression()
+        limit = None
+        if self.accept("keyword", "LIMIT"):
+            limit = self.parse_limit()
         self.expect("eof")
         return SelectStatement(
             select_items=select_items,
@@ -126,7 +130,21 @@ class _Parser:
             where=where,
             group_by=group_by,
             having=having,
+            limit=limit,
         )
+
+    def parse_limit(self) -> int:
+        token = self.expect("number")
+        if "." in token.value:
+            raise SQLSyntaxError(
+                f"LIMIT takes an integer, got {token.value!r} at position {token.position}"
+            )
+        value = int(token.value)
+        if value <= 0:
+            raise SQLSyntaxError(
+                f"LIMIT must be positive, got {value} at position {token.position}"
+            )
+        return value
 
     def parse_select_list(self) -> List[SelectItem]:
         items = [self.parse_select_item()]

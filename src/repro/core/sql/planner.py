@@ -22,7 +22,6 @@ from repro.core.expressions import (
     Comparison,
     Expression,
     FunctionCall,
-    Literal,
     Not,
     Or,
 )
@@ -102,6 +101,10 @@ class SQLPlanner:
             raise PlanError("multi-table FROM clauses require an equi-join predicate")
 
         post_join = self._conjoin(residuals)
+
+        if statement.limit is not None:
+            # An explicit query option wins over the statement's LIMIT.
+            query_options.setdefault("limit", statement.limit)
 
         if aggregates and is_join:
             # Join + aggregation: the join runs distributed, grouping happens

@@ -53,6 +53,24 @@ class MulticastService:
         """Deliver every multicast (any namespace) to ``handler``."""
         self._wildcard_handlers.append(handler)
 
+    def unsubscribe(self, namespace: str, handler: MulticastHandler) -> bool:
+        """Remove a handler previously registered with :meth:`subscribe`.
+
+        Returns whether the handler was found.  Query teardown uses this to
+        drop per-query subscriptions (e.g. Bloom summary distribution).
+        """
+        handlers = self._handlers.get(namespace)
+        if not handlers or handler not in handlers:
+            return False
+        handlers.remove(handler)
+        if not handlers:
+            del self._handlers[namespace]
+        return True
+
+    def subscriber_count(self, namespace: str) -> int:
+        """Number of handlers subscribed to ``namespace`` (tests/ops)."""
+        return len(self._handlers.get(namespace, ()))
+
     # ----------------------------------------------------------------- send
 
     def multicast(self, namespace: str, resource_id: Any, item: Any,

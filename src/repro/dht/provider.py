@@ -501,6 +501,34 @@ class Provider:
         """Register a ``newData`` callback for a namespace (paper Table 3)."""
         self._new_data_callbacks.setdefault(namespace, []).append(callback)
 
+    def off_new_data(self, namespace: str, callback: NewDataCallback) -> bool:
+        """Unregister a previously registered ``newData`` callback.
+
+        Queries are soft state: when one finishes or is cancelled, its probes
+        must come off so the namespace stops invoking dead dataflows (and so
+        long simulations do not accumulate callbacks).  Returns whether the
+        callback was found.
+        """
+        callbacks = self._new_data_callbacks.get(namespace)
+        if not callbacks or callback not in callbacks:
+            return False
+        callbacks.remove(callback)
+        if not callbacks:
+            del self._new_data_callbacks[namespace]
+        return True
+
+    def new_data_callback_count(self, namespace: str) -> int:
+        """Number of live ``newData`` callbacks for ``namespace`` (tests/ops)."""
+        return len(self._new_data_callbacks.get(namespace, ()))
+
+    def purge_namespace(self, namespace: str) -> int:
+        """Drop every locally stored item of ``namespace``; returns the count.
+
+        Used by query teardown to release temporary rehash/filter/partial
+        state immediately instead of waiting for soft-state expiry.
+        """
+        return self.storage.purge_namespace(namespace)
+
     # -------------------------------------------------------------- multicast
 
     def multicast(self, namespace: str, resource_id: Any, item: Any,

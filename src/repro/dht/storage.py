@@ -157,6 +157,18 @@ class StorageManager:
             return len(self._by_namespace.get(namespace, set()))
         return sum(1 for _item in self.scan(namespace, now))
 
+    def purge_namespace(self, namespace: str) -> int:
+        """Remove every item of ``namespace``; returns the number removed.
+
+        Query teardown uses this to reclaim temporary per-query namespaces
+        (rehash fragments, Bloom filters, partial aggregates) without
+        waiting for their soft-state lifetimes to elapse.
+        """
+        keys = list(self._by_namespace.get(namespace, set()))
+        for key in keys:
+            self._remove_key(key)
+        return len(keys)
+
     # ------------------------------------------------------------- soft state
 
     def expire_items(self, now: float) -> int:

@@ -218,6 +218,14 @@ class PierNetwork:
             self.renewal_agents[address] = agent
         return self.renewal_agents
 
+    # ---------------------------------------------------------------- clients
+
+    def client(self, node: int = 0, catalog=None, **client_options):
+        """Open a :class:`repro.client.PierClient` session bound to ``node``."""
+        from repro.client import PierClient
+
+        return PierClient(self, node=node, catalog=catalog, **client_options)
+
     # -------------------------------------------------------------- execution
 
     def run(self, until: Optional[float] = None,
@@ -251,6 +259,13 @@ def run_query(pier: PierNetwork, query: QuerySpec, initiator: int = 0,
               reset_stats: bool = True) -> QueryRunResult:
     """Submit ``query`` from ``initiator`` and run the simulation to completion.
 
+    Back-compat shim over the :class:`repro.client.PierClient` session API:
+    submits through a client cursor, drives the simulation, and packages the
+    batch-style result the benchmarks consume.  It deliberately does *not*
+    tear the query down afterwards (several experiments inspect the
+    soft state a query leaves behind); use ``PierClient.sql(...)`` cursors
+    for lifecycle-managed queries.
+
     With no periodic processes active the event queue drains naturally once
     the query finishes; experiments with renewal agents or failure injection
     must pass an explicit ``until`` horizon.
@@ -258,11 +273,12 @@ def run_query(pier: PierNetwork, query: QuerySpec, initiator: int = 0,
     if reset_stats:
         pier.network.stats.reset()
     start = pier.now
-    handle = pier.executor(initiator).submit(query)
+    cursor = pier.client(node=initiator).query(query)
     if until is None:
         pier.run_until_idle()
     else:
         pier.run(until=until)
+    handle = cursor.handle
     return QueryRunResult(
         handle=handle,
         latency=summarize_latency(handle, k=kth),

@@ -259,6 +259,21 @@ class Simulator:
         """Run until no events remain; convenience wrapper over :meth:`run`."""
         return self.run(until=None, max_events=max_events)
 
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest runnable event, or ``None`` when idle.
+
+        Cancelled events at the head of the queue are discarded on the way,
+        so callers polling between :meth:`run` calls (e.g. result cursors
+        deciding how far to drive) see the true next activity time.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if self._ready:
+            return self._now
+        if self._queue:
+            return self._queue[0].time
+        return None
+
     def _has_runnable(self, until: float) -> bool:
         """Whether any non-cancelled event is due at or before ``until``."""
         if any(not e.cancelled for e in self._ready):

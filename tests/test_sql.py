@@ -223,3 +223,44 @@ def test_planner_passes_query_options_through():
     )
     assert query.result_tuple_bytes == 512
     assert query.collection_window_s == 9.0
+
+
+# --------------------------------------------------------------------- LIMIT
+
+
+def test_parse_limit_clause():
+    statement = parse_sql("SELECT R.pkey FROM R LIMIT 25")
+    assert statement.limit == 25
+    assert parse_sql("SELECT R.pkey FROM R").limit is None
+
+
+def test_parse_limit_after_group_by_and_having():
+    statement = parse_sql(
+        "SELECT R.num1, count(*) AS cnt FROM R GROUP BY R.num1 "
+        "HAVING cnt > 2 LIMIT 7"
+    )
+    assert statement.limit == 7
+
+
+def test_parse_limit_rejects_bad_arguments():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT R.pkey FROM R LIMIT 0")
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT R.pkey FROM R LIMIT 2.5")
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT R.pkey FROM R LIMIT")
+
+
+def test_planner_carries_limit_into_query_spec():
+    planner = SQLPlanner(monitoring_catalog())
+    query = planner.plan_sql("SELECT R.pkey FROM R LIMIT 9")
+    assert query.limit == 9
+    # An explicit query option wins over the statement's LIMIT.
+    query = planner.plan_sql("SELECT R.pkey FROM R LIMIT 9", limit=4)
+    assert query.limit == 4
+
+
+def test_query_spec_rejects_non_positive_limit():
+    planner = SQLPlanner(monitoring_catalog())
+    with pytest.raises(PlanError):
+        planner.plan_sql("SELECT R.pkey FROM R", limit=-1)
