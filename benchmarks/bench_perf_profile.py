@@ -1,0 +1,318 @@
+"""Perf profile — compiled row pipeline vs. interpreted dict pipeline.
+
+PR 1 made simulator *events* cheap enough that per-tuple CPU cost dominates
+large runs; this benchmark is the yardstick for the compiled row pipeline
+that attacks that cost.  It drives the paper's Figure 3 benchmark query
+(Section 5.1) through both executor paths and reports:
+
+* **per-stage tuple throughput** (rows/sec) of the operator stages the
+  compiled pipeline replaces — scan→filter→project chains and the join tail
+  (qualify + merge + residual + output projection) — measured over the
+  fig-3 workload's R⋈S data at the 1024-node sizing;
+* **end-to-end wall-clock** of the fig-3 query at 1024 and 4096 nodes,
+  compiled vs. interpreted (the interpreted A/B runs at the smallest axis
+  point to bound cost), with identical-result and recall checks.
+
+Besides the usual ``benchmarks/results/perf_profile.{txt,json}`` outputs it
+writes ``BENCH_perf.json`` at the repository root — the committed perf
+trajectory point CI uploads from the perf-smoke job.
+
+Acceptance (asserted under pytest): the compiled path is >= 2x the
+interpreted path on tuple throughput for both measured stages, and both
+paths return the identical result multiset with full recall.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from bench_common import (
+    bench_seed,
+    build_loaded_network,
+    is_smoke,
+    node_axis,
+    report,
+    run_benchmark_query,
+    scaled,
+)
+from repro.core.operators import Collector, ListScan, Projection, Selection, chain
+from repro.core.query import JoinStrategy
+from repro.core.tuples import RowLayout, merge_rows, project_row, qualify
+from repro.metrics.recall import recall_and_precision
+from repro.workloads import JoinWorkload, WorkloadConfig
+
+#: Default end-to-end sweep axis (scaled by PIER_BENCH_SCALE, smoke-capped).
+DEFAULT_NODE_COUNTS = (1024, 4096)
+
+#: The interpreted A/B run is limited to axis points at or below this size —
+#: the dict pipeline at 4096 nodes is exactly the slowness being replaced.
+INTERPRETED_NODE_CAP = 1024
+
+#: Network sizing of the stage-throughput measurement (fig-3 data volume).
+STAGE_WORKLOAD_NODES = 1024
+
+#: Minimum tuples pushed through each stage per timing sample.
+STAGE_MIN_ROWS = 40_000
+
+#: Coalescing window for large runs (mirrors the Figure 3 benchmark).
+LARGE_RUN_WINDOW_S = 0.010
+LARGE_RUN_THRESHOLD = 1024
+
+#: Acceptance bar: compiled tuple throughput over interpreted, per stage.
+REQUIRED_SPEEDUP = 2.0
+
+#: The committed perf-trajectory artifact at the repository root.
+ROOT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+# ------------------------------------------------------------ stage profiling
+
+
+def _time_per_row(run, rows_per_pass: int, min_rows: int) -> float:
+    """Rows/sec of ``run()`` (one pass over the stage's input rows)."""
+    passes = max(1, min_rows // max(1, rows_per_pass))
+    run()  # warm-up pass (closure caches, dict sizing)
+    started = time.perf_counter()
+    for _ in range(passes):
+        run()
+    elapsed = time.perf_counter() - started
+    return (passes * rows_per_pass) / max(elapsed, 1e-9)
+
+
+def profile_stages(num_nodes: int = 0, seed: int = 5) -> dict:
+    """Per-stage tuple throughput, interpreted vs. compiled, fig-3 shapes.
+
+    Every measured loop is the *actual* hot-path shape of the corresponding
+    executor stage: the interpreted side runs the operator pipeline /
+    dict-merging join tail, the compiled side runs the plan-time-resolved
+    closures over slotted rows.
+    """
+    if not num_nodes:
+        num_nodes = scaled(STAGE_WORKLOAD_NODES)
+    seed = bench_seed(seed)
+    workload = JoinWorkload(WorkloadConfig(
+        num_nodes=num_nodes, s_tuples_per_node=2, seed=seed))
+    query = workload.make_query(strategy=JoinStrategy.SYMMETRIC_HASH)
+    r_rows = [row for _node, row in workload.all_r_rows()]
+    s_rows = [row for _node, row in workload.all_s_rows()]
+
+    r_layout = workload.r_schema.layout()
+    r_predicate = query.local_predicates["R"]
+    r_columns = query.columns_needed_from("R")
+    s_columns = query.columns_needed_from("S")
+
+    stages = {}
+
+    # --- Scan -> Filter -> Project chain over R (the rehash source chain).
+    def interpreted_chain():
+        scan = ListScan(r_rows)
+        collector = Collector()
+        chain(scan, Selection(r_predicate), Projection(r_columns), collector)
+        scan.run()
+        return collector.rows
+
+    compiled_reader = r_layout.reader()
+    compiled_predicate = r_predicate.compile(r_layout)
+    compiled_project = r_layout.getter(r_columns)
+
+    def compiled_chain():
+        out = []
+        append = out.append
+        for value in r_rows:
+            row = compiled_reader(value)
+            if not compiled_predicate(row):
+                continue
+            append(compiled_project(row))
+        return out
+
+    stages["scan_filter_project"] = {
+        "rows_per_pass": len(r_rows),
+        "interpreted_rows_s": _time_per_row(
+            interpreted_chain, len(r_rows), STAGE_MIN_ROWS),
+        "compiled_rows_s": _time_per_row(
+            compiled_chain, len(r_rows), STAGE_MIN_ROWS),
+    }
+
+    # --- Join tail (qualify + merge + residual + output projection) over the
+    # actual matched pairs of the fig-3 equi-join.
+    s_by_key = {}
+    for row in s_rows:
+        s_by_key.setdefault(row["pkey"], []).append(row)
+    pairs = [
+        ({name: r_row[name] for name in r_columns},
+         {name: s_row[name] for name in s_columns})
+        for r_row in r_rows
+        for s_row in s_by_key.get(r_row["num1"], ())
+    ]
+    residual = query.post_join_predicate
+    output_columns = query.output_columns
+
+    def interpreted_tail():
+        out = []
+        for left, right in pairs:
+            merged = merge_rows(qualify("R", left), qualify("S", right))
+            if residual is not None and not residual.evaluate(merged):
+                continue
+            out.append(project_row(merged, output_columns))
+        return out
+
+    left_layout = RowLayout(r_columns)
+    right_layout = RowLayout(s_columns)
+    from repro.core.opgraph import _compile_pair_emitter
+    emitter = _compile_pair_emitter(query, left_layout, right_layout)
+    left_reader = left_layout.reader()
+    right_reader = right_layout.reader()
+    slotted_pairs = [(left_reader(left), right_reader(right))
+                     for left, right in pairs]
+
+    def compiled_tail():
+        out = []
+        append = out.append
+        for left, right in slotted_pairs:
+            result = emitter(left, right)
+            if result is not None:
+                append(result)
+        return out
+
+    assert interpreted_tail() == compiled_tail()  # same rows, same order
+    stages["join_tail"] = {
+        "rows_per_pass": len(pairs),
+        "interpreted_rows_s": _time_per_row(
+            interpreted_tail, len(pairs), STAGE_MIN_ROWS),
+        "compiled_rows_s": _time_per_row(
+            compiled_tail, len(pairs), STAGE_MIN_ROWS),
+    }
+
+    for stage in stages.values():
+        stage["interpreted_rows_s"] = round(stage["interpreted_rows_s"])
+        stage["compiled_rows_s"] = round(stage["compiled_rows_s"])
+        stage["speedup"] = round(
+            stage["compiled_rows_s"] / max(1, stage["interpreted_rows_s"]), 2)
+    return {"nodes_sizing": num_nodes, "stages": stages}
+
+
+# --------------------------------------------------------------- end to end
+
+
+def run_end_to_end(num_nodes: int, compiled: bool, seed: int = 5) -> dict:
+    """One fig-3 query execution; returns the profile row plus result rows."""
+    window = LARGE_RUN_WINDOW_S if num_nodes >= LARGE_RUN_THRESHOLD else 0.0
+    t0 = time.perf_counter()
+    pier, workload = build_loaded_network(
+        num_nodes, s_tuples_per_node=2, seed=seed,
+        coalesce_window_s=window, compiled_rows=compiled,
+    )
+    t_loaded = time.perf_counter()
+    outcome = run_benchmark_query(pier, workload, JoinStrategy.SYMMETRIC_HASH)
+    t_done = time.perf_counter()
+    expected = workload.expected_results()
+    recall, precision = recall_and_precision(outcome.handle.rows, expected)
+    row = {
+        "nodes": num_nodes,
+        "mode": "compiled" if compiled else "interpreted",
+        "results": outcome.result_count,
+        "recall": round(recall, 4),
+        "precision": round(precision, 4),
+        "t_30th_s": outcome.latency.time_to_kth,
+        "t_last_s": outcome.latency.time_to_last,
+        "wall_build_load_s": round(t_loaded - t0, 3),
+        "wall_query_s": round(t_done - t_loaded, 3),
+    }
+    return row, outcome.handle.rows
+
+
+def _row_key(row: dict):
+    return tuple(sorted(row.items()))
+
+
+def sweep():
+    node_counts = node_axis(DEFAULT_NODE_COUNTS)
+    rows = []
+    ab_rows = {}
+    for num_nodes in node_counts:
+        compiled_row, compiled_results = run_end_to_end(num_nodes, compiled=True)
+        rows.append(compiled_row)
+        if num_nodes <= INTERPRETED_NODE_CAP or is_smoke():
+            interpreted_row, interpreted_results = run_end_to_end(
+                num_nodes, compiled=False)
+            rows.append(interpreted_row)
+            identical = (sorted(map(_row_key, compiled_results))
+                         == sorted(map(_row_key, interpreted_results)))
+            ab_rows[num_nodes] = {
+                "result_rows": compiled_row["results"],
+                "identical_rows": identical,
+                "compiled_recall": compiled_row["recall"],
+                "interpreted_recall": interpreted_row["recall"],
+                "wall_query_speedup": round(
+                    interpreted_row["wall_query_s"]
+                    / max(compiled_row["wall_query_s"], 1e-9), 2),
+            }
+    sweep.ab_rows = ab_rows
+    return rows
+
+
+def perf_extra():
+    """Extra JSON fields: stage profile, A/B equivalence, the root artifact."""
+    profile = profile_stages()
+    document = {
+        "stage_profile": profile,
+        "equivalence": getattr(sweep, "ab_rows", {}),
+        "thresholds": {"tuple_throughput_speedup_min": REQUIRED_SPEEDUP},
+    }
+    perf_extra.last_document = document
+    write_root_artifact(document)
+    return document
+
+
+def write_root_artifact(document: dict, rows=None) -> None:
+    """Write the committed ``BENCH_perf.json`` perf-trajectory point."""
+    payload = {
+        "benchmark": "perf_profile",
+        "query": "fig3 (Section 5.1) R JOIN S, symmetric hash",
+        "smoke": is_smoke(),
+        **document,
+    }
+    if rows is not None:
+        payload["end_to_end"] = rows
+    ROOT_ARTIFACT.write_text(json.dumps(payload, indent=2, default=str) + "\n",
+                             encoding="utf-8")
+
+
+# ----------------------------------------------------------------- pytest
+
+
+def test_perf_profile(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    extra = perf_extra()
+    write_root_artifact(extra, rows=rows)
+    report("perf_profile",
+           "Compiled row pipeline vs. interpreted: fig-3 query profile",
+           rows, extra=extra)
+
+    stages = extra["stage_profile"]["stages"]
+    for name, stage in stages.items():
+        assert stage["speedup"] >= REQUIRED_SPEEDUP, \
+            f"stage {name}: compiled only {stage['speedup']}x interpreted"
+
+    # Both pipelines must agree exactly: same result multiset, full recall.
+    assert extra["equivalence"], "no A/B axis point was run"
+    for num_nodes, equivalence in extra["equivalence"].items():
+        assert equivalence["identical_rows"], \
+            f"compiled and interpreted rows differ at {num_nodes} nodes"
+        assert equivalence["compiled_recall"] == 1.0
+        assert equivalence["interpreted_recall"] == 1.0
+
+
+def main(argv=None):
+    from bench_common import run_main
+    rows = run_main("perf_profile",
+                    "Compiled row pipeline vs. interpreted: fig-3 query profile",
+                    sweep, argv, extra=perf_extra)
+    # run_main's extra() ran before rows were known here; rewrite the root
+    # artifact with the end-to-end rows included.
+    write_root_artifact(perf_extra.last_document, rows=rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -17,12 +17,11 @@ provides two building blocks:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.expressions import And, Comparison, Expression, col, lit
-from repro.core.query import QuerySpec, next_query_id
+from repro.core.query import QuerySpec
 
 
 @dataclass
@@ -116,8 +115,10 @@ class PeriodicQuery:
     def _execute_window(self) -> None:
         if self.teardown_previous and self.handles:
             self.executor.finish(self.handles[-1].query.query_id)
-        query = copy.deepcopy(self.query_template)
-        query.query_id = next_query_id()
+        # Rebuild only the per-window mutable state (fresh query id and
+        # containers); the immutable plan and expressions are shared, so a
+        # window costs no deep copy of the whole spec.
+        query = self.query_template.clone_for_window()
         if self.window is not None:
             alias = query.tables[0].alias
             existing = query.local_predicates.get(alias)

@@ -46,6 +46,7 @@ from repro.core.opgraph import (
     OpNode,
     bloom_distribution_namespace,
     build_opgraph,
+    scan_chain_parts,
 )
 from repro.core.operators.aggregate import GroupByAggregate
 from repro.core.operators.projection import Projection
@@ -179,9 +180,15 @@ class QueryExecutor:
     SERVICE_NAME = "pier.executor"
     PROTOCOL_RESULT = "pier.result"
 
-    def __init__(self, node: Node, provider: Provider):
+    def __init__(self, node: Node, provider: Provider,
+                 compiled_rows: bool = True):
         self.node = node
         self.provider = provider
+        #: Whether queries run the compiled row pipeline (slotted tuples and
+        #: plan-time-compiled expressions) or the interpreted dict-per-row
+        #: path.  All nodes of a deployment must agree: rehashed fragments
+        #: are exchanged in the representation the pipeline works on.
+        self.compiled_rows = compiled_rows
         self._states: Dict[int, _NodeQueryState] = {}
         self._handles: Dict[int, QueryHandle] = {}
         #: query_id -> teardown time, so late query floods are suppressed.
@@ -281,7 +288,7 @@ class QueryExecutor:
         if query.query_id in self._states or query.query_id in self._finished:
             return
         self._expire_stale_states()
-        graph = build_opgraph(query)
+        graph = build_opgraph(query, compiled=self.compiled_rows)
         state = _NodeQueryState(
             query=query, graph=graph, arrived_at=self.now,
             expires_at=self.now + query.temp_lifetime_s,
@@ -321,25 +328,17 @@ class QueryExecutor:
                           bloom_filter: Optional[BloomFilter] = None) -> None:
         """Run a Scan → (Filter) → (Project) chain and feed its terminal node."""
         graph = state.graph
-        alias = scan_node.params["alias"]
-        predicate = None
-        columns: Optional[List[str]] = None
-        node = scan_node
-        while True:
-            targets = graph.downstream(node)
-            if not targets:
+        if graph.compiled is not None:
+            chain = graph.compiled.chains[scan_node.op_id]
+            rows = self._scan_rows_compiled(chain)
+            terminal = chain.terminal
+        else:
+            predicate, columns, terminal = scan_chain_parts(graph, scan_node)
+            if terminal is None:
                 return
-            downstream = targets[0][1]
-            if downstream.kind is OpKind.FILTER:
-                predicate = downstream.params["predicate"]
-            elif downstream.kind is OpKind.PROJECT:
-                columns = downstream.params["columns"]
-            else:
-                terminal = downstream
-                break
-            node = downstream
+            rows = self._scan_rows(query, scan_node.params["alias"],
+                                   predicate, columns)
 
-        rows = self._scan_rows(query, alias, predicate, columns)
         if terminal.kind is OpKind.REHASH:
             self._run_rehash(query, state, terminal, rows, bloom_filter)
         elif terminal.kind is OpKind.FETCH:
@@ -349,7 +348,7 @@ class QueryExecutor:
         elif terminal.kind is OpKind.PARTIAL_AGG:
             self._run_partial_agg(query, state, terminal, rows)
         elif terminal.kind is OpKind.SINK:
-            self._run_scan_sink(query, rows)
+            self._run_scan_sink(query, state, terminal, rows)
         else:  # pragma: no cover - constructions only build the kinds above
             raise PlanError(f"scan chain cannot terminate in {terminal.kind}")
 
@@ -367,29 +366,69 @@ class QueryExecutor:
         scan.run()
         return collector.rows
 
+    def _scan_rows_compiled(self, chain_artifact) -> List[tuple]:
+        """Compiled scan → select → (project) over the local partition.
+
+        Reads stored values straight out of the storage manager (no per-item
+        DHTItem view), converts each published dict to a slotted row once,
+        and runs the chain's plan-time-compiled predicate and projection.
+        """
+        reader = chain_artifact.reader
+        predicate = chain_artifact.predicate
+        project = chain_artifact.project
+        rows: List[tuple] = []
+        append = rows.append
+        for item in self.provider.storage.scan(chain_artifact.namespace, self.now):
+            row = reader(item.value)
+            if predicate is not None and not predicate(row):
+                continue
+            append(project(row) if project is not None else row)
+        return rows
+
     # ------------------------------------------------------ terminal runners
 
-    def _run_scan_sink(self, query: QuerySpec, rows: List[dict]) -> None:
+    def _run_scan_sink(self, query: QuerySpec, state: _NodeQueryState,
+                       node: OpNode, rows: List[dict]) -> None:
         """Selection/projection-only query: qualify, project and ship."""
-        alias = query.tables[0].alias
-        rows = [qualify(alias, row) for row in rows]
-        if query.output_columns and not query.is_aggregation:
-            rows = [project_row(row, query.output_columns) for row in rows]
+        compiled = state.graph.compiled
+        if compiled is not None:
+            emit = compiled.sinks[node.op_id]
+            rows = [emit(row) for row in rows]
+        else:
+            alias = query.tables[0].alias
+            rows = [qualify(alias, row) for row in rows]
+            if query.output_columns and not query.is_aggregation:
+                rows = [project_row(row, query.output_columns) for row in rows]
         self._send_results(query, rows, bytes_per_row=query.result_tuple_bytes)
 
     def _run_rehash(self, query: QuerySpec, state: _NodeQueryState,
                     node: OpNode, rows: List[dict],
                     bloom_filter: Optional[BloomFilter] = None) -> int:
-        """Rehash surviving tuples on the join key into the temp namespace."""
+        """Rehash surviving tuples on the join key into the temp namespace.
+
+        Compiled pipelines exchange fragments as ``(side, slotted_row)``
+        pairs — the join key is read by slot and no per-fragment dict is
+        allocated; the interpreted path keeps the seed's
+        ``{"side": ..., "row": ...}`` dict fragments.
+        """
         namespace = node.params["namespace"]
-        key_column = node.params["key_column"]
         alias = node.params["alias"]
+        compiled = state.graph.compiled
         entries: List[Tuple] = []
-        for row in rows:
-            join_value = row[key_column]
-            if bloom_filter is not None and join_value not in bloom_filter:
-                continue
-            entries.append((join_value, {"side": alias, "row": row}))
+        if compiled is not None:
+            key_slot = compiled.key_slots[node.op_id]
+            for row in rows:
+                join_value = row[key_slot]
+                if bloom_filter is not None and join_value not in bloom_filter:
+                    continue
+                entries.append((join_value, (alias, row)))
+        else:
+            key_column = node.params["key_column"]
+            for row in rows:
+                join_value = row[key_column]
+                if bloom_filter is not None and join_value not in bloom_filter:
+                    continue
+                entries.append((join_value, {"side": alias, "row": row}))
         self._put_fragments(query, namespace, entries, node.params["item_bytes"])
         return len(entries)
 
@@ -448,9 +487,13 @@ class QueryExecutor:
         state = self._states.get(query.query_id)
         if state is None:
             return
+        compiled = state.graph.compiled
         value = item.value
-        side = value["side"]
-        row = value["row"]
+        if compiled is not None:
+            side, row = value
+        else:
+            side = value["side"]
+            row = value["row"]
         other_alias = query.join.other_alias(side)
         if restrict_to is not None:
             candidates = restrict_to
@@ -459,16 +502,21 @@ class QueryExecutor:
         matches: List[Tuple[dict, dict]] = []
         for candidate in candidates:
             candidate_value = candidate.value
-            if candidate_value["side"] != other_alias:
+            if compiled is not None:
+                candidate_side, candidate_row = candidate_value
+            else:
+                candidate_side = candidate_value["side"]
+                candidate_row = candidate_value["row"]
+            if candidate_side != other_alias:
                 continue
             if candidate.instance_id == item.instance_id:
                 continue
             if restrict_to is not None and candidate.resource_id != item.resource_id:
                 continue
             if side == query.join.left_alias:
-                matches.append((row, candidate_value["row"]))
+                matches.append((row, candidate_row))
             else:
-                matches.append((candidate_value["row"], row))
+                matches.append((candidate_row, row))
         if not matches:
             return
         downstream = state.graph.local_downstream(probe_node)
@@ -476,23 +524,37 @@ class QueryExecutor:
             for left_row, right_row in matches:
                 self._fetch_semi_join_pair(query, left_row, right_row)
         else:
-            self._emit_join_results(query, matches)
+            emitter = (compiled.pair_emitters[probe_node.op_id]
+                       if compiled is not None else None)
+            self._emit_join_results(query, matches, emitter=emitter)
 
     def _emit_join_results(self, query: QuerySpec,
-                           matches: List[Tuple[dict, dict]]) -> None:
-        """Apply the residual predicate, project, and ship matched pairs."""
+                           matches: List[Tuple[dict, dict]],
+                           emitter=None) -> None:
+        """Apply the residual predicate, project, and ship matched pairs.
+
+        ``emitter`` is the compiled join tail (slotted rows in, boundary dict
+        or ``None`` out); without it the interpreted qualify/merge/evaluate/
+        project dict pipeline runs.
+        """
         results = []
-        for left_row, right_row in matches:
-            merged = merge_rows(
-                qualify(query.join.left_alias, left_row),
-                qualify(query.join.right_alias, right_row),
-            )
-            if query.post_join_predicate is not None and not query.post_join_predicate.evaluate(merged):
-                continue
-            if query.output_columns:
-                results.append(project_row(merged, query.output_columns))
-            else:
-                results.append(merged)
+        if emitter is not None:
+            for left_row, right_row in matches:
+                out = emitter(left_row, right_row)
+                if out is not None:
+                    results.append(out)
+        else:
+            for left_row, right_row in matches:
+                merged = merge_rows(
+                    qualify(query.join.left_alias, left_row),
+                    qualify(query.join.right_alias, right_row),
+                )
+                if query.post_join_predicate is not None and not query.post_join_predicate.evaluate(merged):
+                    continue
+                if query.output_columns:
+                    results.append(project_row(merged, query.output_columns))
+                else:
+                    results.append(merged)
         self._send_results(query, results)
 
     # ------------------------------------------------------- fetch matches
@@ -503,34 +565,64 @@ class QueryExecutor:
         scan_alias = node.params["scan_alias"]
         fetch_alias = node.params["fetch_alias"]
         namespace = node.params["namespace"]
-        key_column = node.params["key_column"]
+        compiled = state.graph.compiled
+        fetch_artifact = (compiled.fetches[node.op_id]
+                          if compiled is not None else None)
+        if fetch_artifact is not None:
+            key_slot = fetch_artifact.key_slot
+            key_of = lambda row: row[key_slot]  # noqa: E731
+        else:
+            key_column = node.params["key_column"]
+            key_of = lambda row: row[key_column]  # noqa: E731
         if not self.provider.batching:
             # Seed pattern: one get per scanned row, duplicates included.
             for row in rows:
                 self.provider.get(
-                    namespace, row[key_column],
+                    namespace, key_of(row),
                     lambda items, row=row: self._on_fetch_matches_reply(
-                        query, scan_alias, fetch_alias, row, items),
+                        query, scan_alias, fetch_alias, row, items, fetch_artifact),
                 )
             return
         rows_by_value: Dict[Any, List[dict]] = {}
         for row in rows:
-            rows_by_value.setdefault(row[key_column], []).append(row)
+            rows_by_value.setdefault(key_of(row), []).append(row)
         if not rows_by_value:
             return
 
         def _on_fetch(join_value, items) -> None:
             for row in rows_by_value.get(join_value, ()):
-                self._on_fetch_matches_reply(query, scan_alias, fetch_alias, row, items)
+                self._on_fetch_matches_reply(
+                    query, scan_alias, fetch_alias, row, items, fetch_artifact
+                )
 
         # One get per distinct join value, grouped by owner on the wire.
         self.provider.get_batch(namespace, list(rows_by_value), _on_fetch)
 
     def _on_fetch_matches_reply(self, query: QuerySpec, scan_alias: str,
                                 fetch_alias: str, scan_row: dict,
-                                items: List[DHTItem]) -> None:
+                                items: List[DHTItem],
+                                fetch_artifact=None) -> None:
         if query.query_id not in self._states:
             return  # torn down while the get was in flight
+        if fetch_artifact is not None:
+            reader = fetch_artifact.reader
+            predicate = fetch_artifact.predicate
+            emit = fetch_artifact.emit
+            results = []
+            for item in items:
+                fetched_row = item.value
+                if not isinstance(fetched_row, dict):
+                    continue
+                fetched = reader(fetched_row)
+                if predicate is not None and not predicate(fetched):
+                    continue
+                out = (emit(scan_row, fetched) if fetch_artifact.scan_is_left
+                       else emit(fetched, scan_row))
+                if out is not None:
+                    results.append(out)
+            if results:
+                self._send_results(query, results)
+            return
         predicate = query.local_predicates.get(fetch_alias)
         matches = []
         for item in items:
@@ -573,8 +665,13 @@ class QueryExecutor:
 
         left_relation = query.table(query.join.left_alias).relation
         right_relation = query.table(query.join.right_alias).relation
-        left_key = left_projection[left_relation.resource_id_column]
-        right_key = right_projection[right_relation.resource_id_column]
+        semi = state.graph.compiled.semi if state.graph.compiled else None
+        if semi is not None:
+            left_key = left_projection[semi.left_rid_slot]
+            right_key = right_projection[semi.right_rid_slot]
+        else:
+            left_key = left_projection[left_relation.resource_id_column]
+            right_key = right_projection[right_relation.resource_id_column]
         self.provider.get(left_relation.namespace, left_key,
                           lambda items: _collect("left", items))
         self.provider.get(right_relation.namespace, right_key,
@@ -582,8 +679,24 @@ class QueryExecutor:
 
     def _finish_semi_join_pair(self, query: QuerySpec,
                                pending: _PendingSemiJoinFetch) -> None:
-        matches = []
         join = query.join
+        state = self._states.get(query.query_id)
+        semi = state.graph.compiled.semi if state and state.graph.compiled else None
+        if semi is not None:
+            # Full base tuples arrive as published dicts; the compiled tail
+            # reads them into slotted rows once and emits the boundary dict.
+            results = []
+            for left_row in pending.left_rows or ():
+                for right_row in pending.right_rows or ():
+                    if left_row.get(join.left_column) != right_row.get(join.right_column):
+                        continue
+                    out = semi.emit(left_row, right_row)
+                    if out is not None:
+                        results.append(out)
+            if results:
+                self._send_results(query, results)
+            return
+        matches = []
         for left_row in pending.left_rows or ():
             for right_row in pending.right_rows or ():
                 if left_row.get(join.left_column) != right_row.get(join.right_column):
@@ -611,9 +724,14 @@ class QueryExecutor:
         if not rows:
             return
         namespace = node.params["namespace"]
-        key_column = node.params["key_column"]
+        compiled = state.graph.compiled
         bloom = BloomFilter(query.bloom_bits, query.bloom_hashes)
-        bloom.update(row[key_column] for row in rows)
+        if compiled is not None:
+            key_slot = compiled.key_slots[node.op_id]
+            bloom.update(row[key_slot] for row in rows)
+        else:
+            key_column = node.params["key_column"]
+            bloom.update(row[key_column] for row in rows)
         self.provider.put_batch(
             namespace,
             [("collector", bloom)],
@@ -676,7 +794,15 @@ class QueryExecutor:
             having=None,  # HAVING is applied only after partials are merged.
             name=f"PartialAgg({alias})",
         )
-        partial.push_many(qualify(alias, row) for row in rows)
+        compiled = state.graph.compiled
+        if compiled is not None:
+            agg = compiled.aggs[node.op_id]
+            key = agg.key
+            extractors = agg.extractors
+            for row in rows:
+                partial.accumulate(key(row), [extract(row) for extract in extractors])
+        else:
+            partial.push_many(qualify(alias, row) for row in rows)
         payloads = partial.partial_payloads()
         if query.hierarchical_aggregation:
             bucket = aggregation_tree.combiner_bucket(self.node.address, query.query_id)

@@ -12,8 +12,18 @@ provides a small, explicit expression language covering those needs:
 * :class:`Arithmetic` — ``+ - * /``;
 * :class:`FunctionCall` — calls into a registry of scalar UDFs.
 
-Expressions are evaluated against a *row environment*: a dict mapping column
-names (qualified like ``"R.num2"`` or bare like ``"num2"``) to values.
+Expressions support two execution modes:
+
+* **interpreted** — :meth:`Expression.evaluate` walks the tree against a
+  *row environment*: a dict mapping column names (qualified like
+  ``"R.num2"`` or bare like ``"num2"``) to values, resolving ambiguous
+  references on every evaluation;
+* **compiled** — :meth:`Expression.compile` takes a
+  :class:`repro.core.tuples.RowLayout` and emits nested closures over
+  *slotted* rows (plain tuples): every :class:`ColumnRef` is resolved to a
+  fixed slot exactly once, so resolution (and ambiguity) errors surface at
+  plan time and the per-row work is index access plus the operator itself.
+
 ``columns_referenced`` lets planners decide which predicates are local to one
 table and which must wait until after the join.
 """
@@ -23,11 +33,14 @@ from __future__ import annotations
 import operator
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.exceptions import ExpressionError
 
 Row = Dict[str, Any]
+
+#: A compiled expression: a closure evaluated against one slotted row.
+CompiledExpression = Callable[[Sequence[Any]], Any]
 
 #: Registry of scalar user-defined functions usable in FunctionCall.
 _UDF_REGISTRY: Dict[str, Callable[..., Any]] = {}
@@ -54,6 +67,15 @@ class Expression(ABC):
         """Evaluate against a row environment."""
 
     @abstractmethod
+    def compile(self, layout) -> CompiledExpression:
+        """Compile to a closure over slotted rows of ``layout``.
+
+        Every :class:`ColumnRef` is resolved to a fixed slot here, once —
+        unresolvable or ambiguous references raise :class:`ExpressionError`
+        at compile (plan) time instead of on every row.
+        """
+
+    @abstractmethod
     def columns_referenced(self) -> Set[str]:
         """Every column name mentioned anywhere in the expression."""
 
@@ -76,6 +98,10 @@ class Literal(Expression):
 
     def evaluate(self, row: Row) -> Any:
         return self.value
+
+    def compile(self, layout) -> CompiledExpression:
+        value = self.value
+        return lambda _row: value
 
     def columns_referenced(self) -> Set[str]:
         return set()
@@ -108,6 +134,14 @@ class ColumnRef(Expression):
                     f"ambiguous column reference {self.name!r}: {sorted(matches)}"
                 )
         raise ExpressionError(f"row has no column {self.name!r} (row keys: {sorted(row)})")
+
+    def compile(self, layout) -> CompiledExpression:
+        slot = layout.slot(self.name, ambiguity_error=ExpressionError)
+        if slot is None:
+            raise ExpressionError(
+                f"row has no column {self.name!r} (row keys: {sorted(layout.names)})"
+            )
+        return operator.itemgetter(slot)
 
     def columns_referenced(self) -> Set[str]:
         return {self.name}
@@ -150,6 +184,12 @@ class Comparison(Expression):
     def evaluate(self, row: Row) -> bool:
         return bool(_COMPARATORS[self.op](self.left.evaluate(row), self.right.evaluate(row)))
 
+    def compile(self, layout) -> CompiledExpression:
+        compare_op = _COMPARATORS[self.op]
+        left = self.left.compile(layout)
+        right = self.right.compile(layout)
+        return lambda row: bool(compare_op(left(row), right(row)))
+
     def columns_referenced(self) -> Set[str]:
         return self.left.columns_referenced() | self.right.columns_referenced()
 
@@ -172,6 +212,12 @@ class Arithmetic(Expression):
     def evaluate(self, row: Row) -> Any:
         return _ARITHMETIC[self.op](self.left.evaluate(row), self.right.evaluate(row))
 
+    def compile(self, layout) -> CompiledExpression:
+        arithmetic_op = _ARITHMETIC[self.op]
+        left = self.left.compile(layout)
+        right = self.right.compile(layout)
+        return lambda row: arithmetic_op(left(row), right(row))
+
     def columns_referenced(self) -> Set[str]:
         return self.left.columns_referenced() | self.right.columns_referenced()
 
@@ -184,6 +230,13 @@ class And(Expression):
 
     def evaluate(self, row: Row) -> bool:
         return all(term.evaluate(row) for term in self.terms)
+
+    def compile(self, layout) -> CompiledExpression:
+        compiled = tuple(term.compile(layout) for term in self.terms)
+        if len(compiled) == 2:  # the overwhelmingly common shape
+            first, second = compiled
+            return lambda row: bool(first(row)) and bool(second(row))
+        return lambda row: all(term(row) for term in compiled)
 
     def columns_referenced(self) -> Set[str]:
         referenced: Set[str] = set()
@@ -211,6 +264,13 @@ class Or(Expression):
     def evaluate(self, row: Row) -> bool:
         return any(term.evaluate(row) for term in self.terms)
 
+    def compile(self, layout) -> CompiledExpression:
+        compiled = tuple(term.compile(layout) for term in self.terms)
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda row: bool(first(row)) or bool(second(row))
+        return lambda row: any(term(row) for term in compiled)
+
     def columns_referenced(self) -> Set[str]:
         referenced: Set[str] = set()
         for term in self.terms:
@@ -227,6 +287,10 @@ class Not(Expression):
     def evaluate(self, row: Row) -> bool:
         return not self.term.evaluate(row)
 
+    def compile(self, layout) -> CompiledExpression:
+        term = self.term.compile(layout)
+        return lambda row: not term(row)
+
     def columns_referenced(self) -> Set[str]:
         return self.term.columns_referenced()
 
@@ -242,11 +306,38 @@ class FunctionCall(Expression):
         function = udf(self.name)
         return function(*(argument.evaluate(row) for argument in self.args))
 
+    def compile(self, layout) -> CompiledExpression:
+        function = udf(self.name)  # unknown UDFs fail at plan time
+        compiled = tuple(argument.compile(layout) for argument in self.args)
+        if len(compiled) == 1:
+            only = compiled[0]
+            return lambda row: function(only(row))
+        if len(compiled) == 2:  # the paper's f(R.num3, S.num3) shape
+            first, second = compiled
+            return lambda row: function(first(row), second(row))
+        return lambda row: function(*(argument(row) for argument in compiled))
+
     def columns_referenced(self) -> Set[str]:
         referenced: Set[str] = set()
         for argument in self.args:
             referenced |= argument.columns_referenced()
         return referenced
+
+
+# --------------------------------------------------------------------------
+# Compilation helpers
+
+
+def compile_expression(expression: Optional[Expression],
+                       layout) -> Optional[CompiledExpression]:
+    """Compile an optional expression against a layout (``None`` passes through).
+
+    Planners use this so "no predicate" needs no special-casing at the call
+    sites that hold compiled forms.
+    """
+    if expression is None:
+        return None
+    return expression.compile(layout)
 
 
 # --------------------------------------------------------------------------

@@ -263,6 +263,18 @@ class GroupByAggregate(Operator):
             value = 1 if column is None else row.get(column)
             state.add(value)
 
+    def accumulate(self, group_key: Tuple, values: Sequence[Any]) -> None:
+        """Compiled-pipeline entry: pre-extracted group key and input values.
+
+        ``values`` is aligned with :attr:`aggregates` (``count(*)`` slots
+        receive the constant 1), exactly what :meth:`process` would have
+        extracted by name.
+        """
+        self.rows_in += 1
+        states = self._states_for(group_key)
+        for state, value in zip(states, values):
+            state.add(value)
+
     def merge_partial(self, group_key: Tuple, payloads: Sequence[Tuple]) -> None:
         """Fold partial states received from another node into a group."""
         states = self._states_for(tuple(group_key))

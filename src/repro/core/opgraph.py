@@ -31,11 +31,14 @@ surfaced by ``PierClient.explain``.
 from __future__ import annotations
 
 import enum
+import operator as _operator
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.expressions import compile_expression
 from repro.core.query import JoinStrategy, QuerySpec
-from repro.exceptions import PlanError
+from repro.core.tuples import Row, RowLayout, SlottedRow
+from repro.exceptions import PlanError, QueryError
 
 
 class OpKind(enum.Enum):
@@ -118,6 +121,10 @@ class OpGraph:
         self.query = query
         self.nodes: List[OpNode] = []
         self.edges: List[OpEdge] = []
+        #: Compiled row-pipeline artifacts (:class:`CompiledGraph`), attached
+        #: by :func:`build_opgraph` when lowering with ``compiled=True``;
+        #: ``None`` selects the interpreted dict-per-row path.
+        self.compiled: Optional["CompiledGraph"] = None
 
     # -------------------------------------------------------------- building
 
@@ -261,8 +268,27 @@ def fetch_sides(query: QuerySpec) -> Tuple[str, str]:
     return scan_alias, fetch_alias
 
 
-def build_opgraph(query: QuerySpec) -> OpGraph:
-    """Lower a :class:`QuerySpec` into its physical operator graph."""
+def build_opgraph(query: QuerySpec, compiled: bool = False) -> OpGraph:
+    """Lower a :class:`QuerySpec` into its physical operator graph.
+
+    With ``compiled=True`` the lowering additionally runs the row-pipeline
+    compiler (:func:`compile_graph`): every filter/project/probe/agg
+    expression is resolved against its slotted-row layout exactly once, here
+    at plan time, and the executor's hot path runs the resulting closures.
+
+    The built graph is cached on the query spec: every participant of an
+    N-node simulation lowers the *same* multicast spec, so the plan (and its
+    compiled closures) is shared instead of being rebuilt N times.  Both
+    variants are cached independently (``explain`` lowers interpreted while
+    executors lower compiled), keyed additionally by ``query_id`` —
+    continuous queries allocate a fresh id (and spec clone) per window,
+    which naturally invalidates the cache.
+    """
+    cache = getattr(query, "_opgraph_cache", None)
+    if cache is not None:
+        cached = cache.get(compiled)
+        if cached is not None and cached[0] == query.query_id:
+            return cached[1]
     graph = OpGraph(query)
     if query.is_join:
         strategy = query.strategy
@@ -280,10 +306,43 @@ def build_opgraph(query: QuerySpec) -> OpGraph:
         _build_distributed_aggregation(graph)
     else:
         _build_scan(graph)
+    if compiled:
+        graph.compiled = compile_graph(graph)
+    if cache is None or next(iter(cache.values()))[0] != query.query_id:
+        cache = {}
+        query._opgraph_cache = cache
+    cache[compiled] = (query.query_id, graph)
     return graph
 
 
 # ------------------------------------------------------------------- helpers
+
+
+def scan_chain_parts(graph: OpGraph, scan_node: OpNode
+                     ) -> Tuple[Any, Optional[List[str]], Optional[OpNode]]:
+    """``(predicate, projection_columns, terminal)`` of one scan chain.
+
+    Walks the LOCAL pipeline hanging off a SCAN node, collecting the filter
+    predicate and projection columns until the first non-FILTER/PROJECT
+    operator (the chain's exchange terminal).  Shared by the row compiler
+    and the interpreted executor so the two pipelines classify chains
+    identically.
+    """
+    predicate = None
+    columns: Optional[List[str]] = None
+    node = scan_node
+    while True:
+        targets = graph.downstream(node)
+        if not targets:
+            return predicate, columns, None
+        downstream = targets[0][1]
+        if downstream.kind is OpKind.FILTER:
+            predicate = downstream.params["predicate"]
+        elif downstream.kind is OpKind.PROJECT:
+            columns = downstream.params["columns"]
+        else:
+            return predicate, columns, downstream
+        node = downstream
 
 
 def _source_chain(graph: OpGraph, alias: str,
@@ -553,3 +612,273 @@ def _build_distributed_aggregation(graph: OpGraph) -> None:
 def bloom_distribution_namespace(query: QuerySpec, alias: str) -> str:
     """Namespace over which the OR-ed summary of ``alias`` is multicast."""
     return f"__pier_bloomdist_{query.query_id}_{alias}__"
+
+
+# ----------------------------------------------------------- row compilation
+#
+# The compiler below is the plan-time half of the compiled row pipeline: it
+# resolves every name the graph will ever look up — scan readers, filter and
+# residual predicates, projection slots, join/rehash key slots, aggregate
+# group and input columns, output projections — against slotted-row layouts
+# exactly once, and packages the resulting closures per operator node.  The
+# executor's hot path then runs closures over plain tuples; the dict view of
+# a row is rebuilt only in the emitters that cross the client boundary.
+
+#: An output emitter for a matched pair of slotted rows: applies the residual
+#: predicate and output projection, returning the boundary dict (or ``None``
+#: when the residual rejects the pair).
+PairEmitter = Callable[[SlottedRow, SlottedRow], Optional[Row]]
+
+
+@dataclass
+class CompiledChain:
+    """Compiled Scan → (Filter) → (Project) chain of one table alias."""
+
+    alias: str
+    namespace: str
+    #: Published dict → slotted row (base schema order).
+    reader: Callable[[Row], SlottedRow]
+    #: Local predicate over the base layout (``None`` passes everything).
+    predicate: Optional[Callable[[SlottedRow], bool]]
+    #: Projection onto the chain's output layout (``None`` keeps the row).
+    project: Optional[Callable[[SlottedRow], SlottedRow]]
+    #: Layout of the rows the chain emits.
+    layout: RowLayout
+    #: The exchange operator the chain feeds (rehash/fetch/bloom/agg/sink).
+    terminal: OpNode
+
+
+@dataclass
+class CompiledFetch:
+    """Compiled Fetch Matches artifacts (scan-side keys, fetched-side join)."""
+
+    #: Slot of the scan side's join key in its chain layout.
+    key_slot: int
+    #: Fetched base dict → slotted row (full fetched-relation schema).
+    reader: Callable[[Row], SlottedRow]
+    #: Fetched side's local predicate over its full layout.
+    predicate: Optional[Callable[[SlottedRow], bool]]
+    #: Whether the scanned side is the join's left side (pair orientation).
+    scan_is_left: bool
+    emit: PairEmitter
+
+
+@dataclass
+class CompiledSemiJoin:
+    """Compiled symmetric semi-join artifacts (rid slots + full-tuple tail)."""
+
+    #: Slots of the resourceID columns inside the rehashed projections.
+    left_rid_slot: int
+    right_rid_slot: int
+    #: Emitter over the *full* fetched base dicts of a surviving pair.
+    emit: Callable[[Row, Row], Optional[Row]]
+
+
+@dataclass
+class CompiledAgg:
+    """Compiled group-key and aggregate-input extraction for partial agg."""
+
+    #: Slotted row → group key tuple.
+    key: Callable[[SlottedRow], Tuple]
+    #: One input extractor per aggregate (``count(*)`` yields a constant 1).
+    extractors: Tuple[Callable[[SlottedRow], Any], ...]
+
+
+@dataclass
+class CompiledGraph:
+    """Per-node compiled artifacts of one operator graph, keyed by ``op_id``."""
+
+    chains: Dict[int, CompiledChain] = field(default_factory=dict)
+    #: Rehash / Bloom-build join-key slots in their chain layouts.
+    key_slots: Dict[int, int] = field(default_factory=dict)
+    fetches: Dict[int, CompiledFetch] = field(default_factory=dict)
+    #: Probe-node pair emitters (symmetric hash / Bloom rehash layouts).
+    pair_emitters: Dict[int, PairEmitter] = field(default_factory=dict)
+    semi: Optional[CompiledSemiJoin] = None
+    aggs: Dict[int, CompiledAgg] = field(default_factory=dict)
+    #: Scan-sink emitters: slotted row → boundary dict.
+    sinks: Dict[int, Callable[[SlottedRow], Row]] = field(default_factory=dict)
+
+
+def _compile_pair_emitter(query: QuerySpec, left_layout: RowLayout,
+                          right_layout: RowLayout) -> PairEmitter:
+    """Compile the join tail (qualify + merge + residual + output projection).
+
+    The interpreted tail allocates two qualified dicts, a merged dict and a
+    projected dict per matched pair; the compiled tail is one tuple ``+``,
+    one residual closure, one itemgetter and the single boundary dict.
+    """
+    join = query.join
+    merged = left_layout.qualified(join.left_alias).concat(
+        right_layout.qualified(join.right_alias)
+    )
+    residual = compile_expression(query.post_join_predicate, merged)
+    if query.output_columns:
+        names = tuple(query.output_columns)
+        getter = merged.getter(names)
+    else:
+        names = merged.names
+        getter = None
+
+    def emit(left_row: SlottedRow, right_row: SlottedRow) -> Optional[Row]:
+        row = left_row + right_row
+        if residual is not None and not residual(row):
+            return None
+        return dict(zip(names, getter(row) if getter is not None else row))
+
+    return emit
+
+
+def _compile_agg(query: QuerySpec, layout: RowLayout) -> CompiledAgg:
+    """Compile group-key / aggregate-input extraction over ``layout``.
+
+    Resolution is *exact* by design: the interpreted
+    :class:`~repro.core.operators.aggregate.GroupByAggregate` indexes rows
+    with the literal group-by name (missing → ``QueryError``) and reads
+    aggregate inputs with ``row.get`` (missing → ``None``); the compiled
+    form preserves both behaviours, surfacing the error at plan time.
+    """
+    group_slots = []
+    for column in query.group_by:
+        slot = layout.slots.get(column)
+        if slot is None:
+            raise QueryError(f"group-by column missing from row: {column!r}")
+        group_slots.append(slot)
+    if not group_slots:
+        def key(_row: SlottedRow) -> Tuple:
+            return ()
+    elif len(group_slots) == 1:
+        only = group_slots[0]
+
+        def key(row: SlottedRow) -> Tuple:
+            return (row[only],)
+    else:
+        key = _operator.itemgetter(*group_slots)
+
+    extractors: List[Callable[[SlottedRow], Any]] = []
+    for aggregate in query.aggregates:
+        if aggregate.column is None:
+            extractors.append(lambda _row: 1)
+        else:
+            slot = layout.slots.get(aggregate.column)
+            if slot is None:
+                extractors.append(lambda _row: None)
+            else:
+                extractors.append(_operator.itemgetter(slot))
+    return CompiledAgg(key=key, extractors=tuple(extractors))
+
+
+def _compile_chain(graph: OpGraph, compiled: CompiledGraph,
+                   scan: OpNode) -> None:
+    """Compile one scan chain and its terminal's artifacts."""
+    query = graph.query
+    alias = scan.params["alias"]
+    table = query.table(alias)
+    base_layout = table.relation.schema.layout()
+
+    predicate_expr, columns, terminal = scan_chain_parts(graph, scan)
+    if terminal is None:  # pragma: no cover - every construction has a terminal
+        return
+
+    layout = base_layout
+    project = None
+    if columns:
+        project = base_layout.getter(columns)
+        layout = RowLayout(columns)
+    chain = CompiledChain(
+        alias=alias,
+        namespace=table.namespace,
+        reader=base_layout.reader(),
+        predicate=compile_expression(predicate_expr, base_layout),
+        project=project,
+        layout=layout,
+        terminal=terminal,
+    )
+    compiled.chains[scan.op_id] = chain
+
+    kind = terminal.kind
+    if kind in (OpKind.REHASH, OpKind.BLOOM_BUILD):
+        key_column = terminal.params["key_column"]
+        slot = layout.slots.get(key_column)
+        if slot is None:  # pragma: no cover - projections keep the join key
+            raise PlanError(
+                f"join key {key_column!r} missing from rehash projection {layout.names}"
+            )
+        compiled.key_slots[terminal.op_id] = slot
+    elif kind is OpKind.FETCH:
+        scan_alias = terminal.params["scan_alias"]
+        fetch_alias = terminal.params["fetch_alias"]
+        fetch_layout = query.table(fetch_alias).relation.schema.layout()
+        scan_is_left = scan_alias == query.join.left_alias
+        left, right = ((layout, fetch_layout) if scan_is_left
+                       else (fetch_layout, layout))
+        compiled.fetches[terminal.op_id] = CompiledFetch(
+            key_slot=layout.slots[terminal.params["key_column"]],
+            reader=fetch_layout.reader(),
+            predicate=compile_expression(
+                query.local_predicates.get(fetch_alias), fetch_layout
+            ),
+            scan_is_left=scan_is_left,
+            emit=_compile_pair_emitter(query, left, right),
+        )
+    elif kind is OpKind.PARTIAL_AGG:
+        # The interpreted path qualifies rows before aggregating; qualification
+        # is a pure rename, so compiling against the qualified layout indexes
+        # the same slots of the unchanged slotted row.
+        compiled.aggs[terminal.op_id] = _compile_agg(
+            query, layout.qualified(alias)
+        )
+    elif kind is OpKind.SINK:
+        qualified = layout.qualified(alias)
+        if query.output_columns and not query.is_aggregation:
+            names = tuple(query.output_columns)
+            getter = qualified.getter(names)
+            compiled.sinks[terminal.op_id] = (
+                lambda row, _names=names, _get=getter: dict(zip(_names, _get(row)))
+            )
+        else:
+            compiled.sinks[terminal.op_id] = qualified.to_dict
+
+
+def compile_graph(graph: OpGraph) -> CompiledGraph:
+    """Compile every row-touching operator of ``graph`` at plan time."""
+    query = graph.query
+    compiled = CompiledGraph()
+    for scan in graph.nodes_of_kind(OpKind.SCAN):
+        _compile_chain(graph, compiled, scan)
+
+    probes = graph.nodes_of_kind(OpKind.PROBE)
+    if probes:
+        # Layouts of what actually crossed the network per side: the rehash
+        # chains' projections (full tuples for SHJ/Bloom, rid+key for semi).
+        rehash_layouts = {
+            chain.terminal.params["alias"]: chain.layout
+            for chain in compiled.chains.values()
+            if chain.terminal.kind is OpKind.REHASH
+        }
+        join = query.join
+        for probe in probes:
+            if probe.params.get("semi_join"):
+                left_relation = query.table(join.left_alias).relation
+                right_relation = query.table(join.right_alias).relation
+                full_left = left_relation.schema.layout()
+                full_right = right_relation.schema.layout()
+                left_reader = full_left.reader()
+                right_reader = full_right.reader()
+                pair_emit = _compile_pair_emitter(query, full_left, full_right)
+                compiled.semi = CompiledSemiJoin(
+                    left_rid_slot=rehash_layouts[join.left_alias].slots[
+                        left_relation.resource_id_column],
+                    right_rid_slot=rehash_layouts[join.right_alias].slots[
+                        right_relation.resource_id_column],
+                    emit=lambda left_row, right_row: pair_emit(
+                        left_reader(left_row), right_reader(right_row)
+                    ),
+                )
+            else:
+                compiled.pair_emitters[probe.op_id] = _compile_pair_emitter(
+                    query,
+                    rehash_layouts[join.left_alias],
+                    rehash_layouts[join.right_alias],
+                )
+    return compiled

@@ -23,6 +23,7 @@ The four strategies of Section 4 are the members of :class:`JoinStrategy`:
 
 from __future__ import annotations
 
+import copy
 import enum
 import itertools
 from dataclasses import dataclass, field
@@ -185,6 +186,30 @@ class QuerySpec:
             raise PlanError(f"LIMIT must be positive, got {self.limit}")
 
     # ------------------------------------------------------------- utilities
+
+    def clone_for_window(self) -> "QuerySpec":
+        """A fresh spec for one periodic-query window, sharing the plan.
+
+        Only the per-window mutable state is rebuilt: the container fields a
+        window may rewrite (``local_predicates`` gets the sliding-window
+        conjunct) become fresh copies, the ``query_id`` is reallocated so
+        temporary namespaces do not collide with previous windows, and the
+        cached lowered operator graph is dropped.  The immutable payload —
+        relation definitions, expressions, join/aggregate descriptions — is
+        shared, not deep-copied.
+        """
+        clone = copy.copy(self)
+        clone.tables = list(self.tables)
+        clone.output_columns = list(self.output_columns)
+        clone.local_predicates = dict(self.local_predicates)
+        clone.group_by = list(self.group_by)
+        clone.aggregates = list(self.aggregates)
+        clone.derived_columns = dict(self.derived_columns)
+        if self.computation_nodes is not None:
+            clone.computation_nodes = list(self.computation_nodes)
+        clone.query_id = next_query_id()
+        clone.__dict__.pop("_opgraph_cache", None)
+        return clone
 
     @property
     def aliases(self) -> List[str]:

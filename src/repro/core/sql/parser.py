@@ -38,6 +38,9 @@ class AggregateCall(Expression):
     def evaluate(self, row):  # pragma: no cover - aggregates never evaluate directly
         raise SQLSyntaxError("aggregate calls cannot be evaluated per row")
 
+    def compile(self, layout):  # pragma: no cover - planner replaces these
+        raise SQLSyntaxError("aggregate calls cannot be compiled per row")
+
     def columns_referenced(self):
         return {self.column} if self.column else set()
 

@@ -1,18 +1,37 @@
-"""Relational data model: columns, schemas and relation definitions.
+"""Relational data model: columns, schemas, relation definitions, row layouts.
 
 PIER's data "lives in its natural habitat" — wrappers publish tuples into the
 DHT as soft state — so the data model here is deliberately lightweight: a
-tuple is a plain ``dict`` mapping column names to values, a :class:`Schema`
-declares and validates the expected columns, and a :class:`RelationDef` ties
-a schema to the DHT namespace its tuples are published under, its primary
-key, and the attribute used as the DHT resourceID (by default the primary
-key, exactly as the paper's query processor does).
+published tuple is a plain ``dict`` mapping column names to values, a
+:class:`Schema` declares and validates the expected columns, and a
+:class:`RelationDef` ties a schema to the DHT namespace its tuples are
+published under, its primary key, and the attribute used as the DHT
+resourceID (by default the primary key, exactly as the paper's query
+processor does).
+
+Inside the dataflow, dicts are too slow: re-qualifying, merging and
+projecting a dict per operator allocates and hashes on every tuple.  The
+compiled row pipeline instead works on *slotted* rows — plain Python tuples
+whose positions are described by a :class:`RowLayout` (an ordered name list
+with a precomputed name→slot map).  A layout compiles the classic row
+operations once, at plan time:
+
+* :meth:`RowLayout.reader` — published dict → slotted row;
+* :meth:`RowLayout.getter` — projection as a C-level ``itemgetter``;
+* :meth:`RowLayout.qualified` / :meth:`RowLayout.concat` — qualify and merge
+  as pure layout (metadata) operations: the data motion is tuple ``+``;
+* :meth:`RowLayout.to_dict` — the dict view restored only at the
+  client/cursor boundary.
+
+The module-level ``qualify`` / ``project_row`` / ``merge_rows`` dict helpers
+remain the interpreted path (``SimulationConfig(compiled_rows=False)``).
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.exceptions import SchemaError
 
@@ -26,6 +45,115 @@ _TYPE_MAP = {
 }
 
 Row = Dict[str, Any]
+
+#: A slotted row: values only, positions described by a :class:`RowLayout`.
+SlottedRow = Tuple[Any, ...]
+
+
+class RowLayout:
+    """Positional layout of slotted rows: ordered names plus a name→slot map.
+
+    Layouts are immutable plan-time objects; every per-row operation they
+    hand out (readers, getters) is resolved to fixed slots exactly once, so
+    the hot path does no name lookups at all.
+    """
+
+    __slots__ = ("names", "slots")
+
+    def __init__(self, names: Sequence[str]):
+        self.names: Tuple[str, ...] = tuple(names)
+        self.slots: Dict[str, int] = {name: i for i, name in enumerate(self.names)}
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowLayout) and self.names == other.names
+
+    def __hash__(self) -> int:
+        return hash(self.names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RowLayout({list(self.names)!r})"
+
+    # ------------------------------------------------------------ resolution
+
+    def slot(self, name: str,
+             ambiguity_error: Type[Exception] = SchemaError) -> Optional[int]:
+        """Resolve a column reference to its slot (or ``None`` when absent).
+
+        Mirrors :class:`repro.core.expressions.ColumnRef` resolution: exact
+        match first, then a qualified reference may fall back to its bare
+        name, and a bare reference may resolve a qualified column when the
+        suffix match is unique — raising ``ambiguity_error`` otherwise.
+        """
+        index = self.slots.get(name)
+        if index is not None:
+            return index
+        if "." in name:
+            return self.slots.get(name.split(".", 1)[1])
+        suffix = "." + name
+        matches = [held for held in self.slots if held.endswith(suffix)]
+        if len(matches) > 1:
+            raise ambiguity_error(
+                f"ambiguous column reference {name!r}: {sorted(matches)}"
+            )
+        if matches:
+            return self.slots[matches[0]]
+        return None
+
+    # ------------------------------------------------- compiled row operations
+
+    def reader(self) -> Callable[[Row], SlottedRow]:
+        """Compiled dict → slotted-row conversion (one C-level itemgetter)."""
+        if len(self.names) == 1:
+            name = self.names[0]
+            return lambda row: (row[name],)
+        return operator.itemgetter(*self.names)
+
+    def getter(self, names: Sequence[str]) -> Callable[[SlottedRow], SlottedRow]:
+        """Compiled projection onto ``names`` (exact-name resolution).
+
+        Matches the interpreted :func:`project_row` contract: every name must
+        be present verbatim, and all missing names are reported at once — but
+        at plan time instead of per row.
+        """
+        slots = []
+        missing = []
+        for name in names:
+            index = self.slots.get(name)
+            if index is None:
+                missing.append(name)
+            else:
+                slots.append(index)
+        if missing:
+            raise SchemaError(f"projection references missing columns {missing}")
+        if len(slots) == 1:
+            index = slots[0]
+            return lambda row: (row[index],)
+        return operator.itemgetter(*slots)
+
+    def qualified(self, alias: str) -> "RowLayout":
+        """Layout with every name prefixed ``alias.`` — the compiled ``qualify``.
+
+        A pure metadata operation: the slotted row itself is untouched.
+        """
+        return RowLayout(tuple(f"{alias}.{name}" for name in self.names))
+
+    def concat(self, other: "RowLayout") -> "RowLayout":
+        """Layout of ``left_row + right_row`` — the compiled ``merge``.
+
+        On duplicate names the right side wins lookups, matching
+        :func:`merge_rows`.
+        """
+        return RowLayout(self.names + other.names)
+
+    def to_dict(self, row: SlottedRow) -> Row:
+        """Dict view of a slotted row (the client/cursor boundary)."""
+        return dict(zip(self.names, row))
 
 
 @dataclass(frozen=True)
@@ -68,22 +196,34 @@ class Schema:
         names = [column.name for column in self.columns]
         if len(names) != len(set(names)):
             raise SchemaError(f"duplicate column names in schema: {names}")
+        # Precomputed layout (with its name→slot map): every by-name
+        # operation is O(1) and the compiled pipeline resolves slots from it
+        # exactly once per plan.
+        object.__setattr__(self, "_layout", RowLayout(names))
 
     @property
     def column_names(self) -> List[str]:
         """Names of the columns, in declaration order."""
         return [column.name for column in self.columns]
 
+    def layout(self) -> RowLayout:
+        """The slotted-row layout of this schema (declaration order)."""
+        return self._layout
+
+    def index_of(self, name: str) -> int:
+        """Slot of a column in this schema's layout."""
+        try:
+            return self._layout.slots[name]
+        except KeyError:
+            raise SchemaError(f"schema has no column named {name!r}") from None
+
     def column(self, name: str) -> Column:
         """Look up a column by name."""
-        for column in self.columns:
-            if column.name == name:
-                return column
-        raise SchemaError(f"schema has no column named {name!r}")
+        return self.columns[self.index_of(name)]
 
     def has_column(self, name: str) -> bool:
         """Whether the schema declares a column named ``name``."""
-        return any(column.name == name for column in self.columns)
+        return name in self._layout.slots
 
     def validate(self, row: Row) -> None:
         """Raise :class:`SchemaError` unless ``row`` conforms to this schema."""
@@ -162,10 +302,14 @@ class RelationDef:
             )
         if self.tuple_bytes is None:
             self.tuple_bytes = self.schema.row_bytes()
+        #: Slot of the resourceID column in the schema layout (positional access).
+        self.resource_id_slot = self.schema.index_of(self.resource_id_column)
 
-    def resource_id(self, row: Row) -> Any:
-        """DHT resourceID of a tuple of this relation."""
-        return row[self.resource_id_column]
+    def resource_id(self, row) -> Any:
+        """DHT resourceID of a tuple of this relation (dict or slotted row)."""
+        if isinstance(row, dict):
+            return row[self.resource_id_column]
+        return row[self.resource_id_slot]
 
     def validate(self, row: Row) -> None:
         """Validate a tuple against this relation's schema."""

@@ -235,12 +235,14 @@ class Provider:
             publisher=request["publisher"],
             size_bytes=request["size_bytes"],
         )
-        existing = {
-            stored.instance_id
-            for stored in self.storage.retrieve(item.namespace, item.resource_id, self.now)
-        }
+        # ``newData`` fires only for triples not already live; the indexed
+        # membership check replaces a retrieve() that materialised every
+        # instance of the resource on each put.
+        is_new = not self.storage.has_instance(
+            item.namespace, item.resource_id, item.instance_id, self.now
+        )
         self.storage.store(item)
-        if item.instance_id not in existing:
+        if is_new:
             view = self._view(item)
             for callback in self._new_data_callbacks.get(item.namespace, ()):
                 callback(view)

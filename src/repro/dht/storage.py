@@ -8,15 +8,21 @@ soft state.  Secondary indexes by namespace and by ``(namespace,
 resourceID)`` support the Provider's ``lscan`` and ``get`` operations
 without full scans.
 
-Expiry is enforced lazily on every read and eagerly by
-:meth:`StorageManager.expire_items`, which the Provider calls from a periodic
-sweep.
+Expiry is driven by a lazily-compacted min-heap of ``(expires_at, item_key)``
+entries: :meth:`StorageManager.expire_items` pops only entries whose deadline
+has passed, so every read path (``retrieve``/``scan``/``count``) runs it
+first and then serves straight from the indexes — the work done is
+proportional to what actually expired, never to the store size.  Entries go
+stale when an item is overwritten (renewal) or removed; stale entries are
+skipped on pop and the heap is rebuilt once they outnumber the live items.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import StorageError
 
@@ -68,12 +74,21 @@ class StoredItem:
 
 
 class StorageManager:
-    """Main-memory store with namespace and resource indexes."""
+    """Main-memory store with namespace, resource and expiry indexes."""
+
+    #: Minimum garbage before a heap rebuild is worth considering.
+    _COMPACT_FLOOR = 64
 
     def __init__(self) -> None:
         self._items: Dict[ItemKey, StoredItem] = {}
         self._by_namespace: Dict[str, Set[ItemKey]] = {}
         self._by_resource: Dict[Tuple[str, Any], Set[ItemKey]] = {}
+        #: Min-heap of ``(expires_at, seq, item_key)``; ``seq`` breaks ties so
+        #: heterogeneous resource ids are never compared.
+        self._expiry_heap: List[Tuple[float, int, ItemKey]] = []
+        self._heap_seq = itertools.count()
+        #: Heap entries no longer backed by a live ``(key, expires_at)`` pair.
+        self._heap_stale = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -85,24 +100,66 @@ class StorageManager:
         if not isinstance(item, StoredItem):
             raise StorageError(f"can only store StoredItem instances, got {type(item)!r}")
         key = item.item_key
-        self._items[key] = item
-        self._by_namespace.setdefault(item.namespace, set()).add(key)
-        self._by_resource.setdefault((item.namespace, item.resource_id), set()).add(key)
+        if key in self._items:
+            self._items[key] = item
+            self._heap_stale += 1  # the overwritten item's heap entry
+        else:
+            self._items[key] = item
+            self._by_namespace.setdefault(item.namespace, set()).add(key)
+            self._by_resource.setdefault((item.namespace, item.resource_id), set()).add(key)
+        heapq.heappush(self._expiry_heap,
+                       (item.expires_at, next(self._heap_seq), key))
+
+    def store_batch(self, items: Iterable[StoredItem]) -> None:
+        """Insert many items with grouped index updates (hot ingestion path).
+
+        Batched ``put`` delivery and join/leave migration hand whole groups
+        of items to one node; updating the namespace/resource sets per group
+        instead of per item avoids repeated hashing of the same index keys.
+        """
+        items = list(items)
+        for item in items:  # validate up front: never mutate a partial batch
+            if not isinstance(item, StoredItem):
+                raise StorageError(
+                    f"can only store StoredItem instances, got {type(item)!r}"
+                )
+        heap = self._expiry_heap
+        stored = self._items
+        by_namespace: Dict[str, List[ItemKey]] = {}
+        by_resource: Dict[Tuple[str, Any], List[ItemKey]] = {}
+        for item in items:
+            key = item.item_key
+            if key in stored:
+                self._heap_stale += 1
+            else:
+                by_namespace.setdefault(item.namespace, []).append(key)
+                by_resource.setdefault(
+                    (item.namespace, item.resource_id), []).append(key)
+            stored[key] = item
+            heapq.heappush(heap, (item.expires_at, next(self._heap_seq), key))
+        for namespace, keys in by_namespace.items():
+            self._by_namespace.setdefault(namespace, set()).update(keys)
+        for resource, keys in by_resource.items():
+            self._by_resource.setdefault(resource, set()).update(keys)
 
     def retrieve(self, namespace: str, resource_id: Any, now: float) -> List[StoredItem]:
         """All live items matching ``(namespace, resourceID)`` (``retrieve``)."""
-        keys = self._by_resource.get((namespace, resource_id), set())
-        results = []
-        expired = []
-        for key in keys:
-            item = self._items[key]
-            if item.is_expired(now):
-                expired.append(key)
-            else:
-                results.append(item)
-        for key in expired:
-            self._remove_key(key)
-        return results
+        self.expire_items(now)
+        keys = self._by_resource.get((namespace, resource_id))
+        if not keys:
+            return []
+        items = self._items
+        return [items[key] for key in keys]
+
+    def has_instance(self, namespace: str, resource_id: Any, instance_id: int,
+                     now: float) -> bool:
+        """Whether the exact live triple is currently stored.
+
+        The Provider's ``newData`` suppression check; unlike
+        :meth:`retrieve` it materialises nothing.
+        """
+        self.expire_items(now)
+        return (namespace, resource_id, instance_id) in self._items
 
     def remove(self, namespace: str, resource_id: Any,
                instance_id: Optional[int] = None) -> int:
@@ -122,6 +179,7 @@ class StorageManager:
         item = self._items.pop(key, None)
         if item is None:
             return
+        self._heap_stale += 1  # the removed item's heap entry lingers
         namespace_keys = self._by_namespace.get(item.namespace)
         if namespace_keys is not None:
             namespace_keys.discard(key)
@@ -136,26 +194,36 @@ class StorageManager:
     # ------------------------------------------------------------- iteration
 
     def scan(self, namespace: str, now: float) -> Iterator[StoredItem]:
-        """Iterate over live items of a namespace (backs the Provider ``lscan``)."""
-        keys = list(self._by_namespace.get(namespace, set()))
-        for key in keys:
-            item = self._items.get(key)
-            if item is None:
-                continue
-            if item.is_expired(now):
-                self._remove_key(key)
-                continue
-            yield item
+        """Iterate over live items of a namespace (backs the Provider ``lscan``).
+
+        Expiry runs once up front (heap-indexed, proportional to what
+        expired); the iteration itself does no per-item deadline checks.
+        The key list is snapshotted so consumers may store/remove while
+        iterating.
+        """
+        self.expire_items(now)
+        keys = self._by_namespace.get(namespace)
+        if not keys:
+            return
+        items = self._items
+        for key in list(keys):
+            item = items.get(key)
+            if item is not None:
+                yield item
 
     def namespaces(self) -> List[str]:
         """Namespaces that currently hold at least one item."""
         return sorted(self._by_namespace)
 
     def count(self, namespace: str, now: Optional[float] = None) -> int:
-        """Number of items in a namespace (live items only when ``now`` given)."""
-        if now is None:
-            return len(self._by_namespace.get(namespace, set()))
-        return sum(1 for _item in self.scan(namespace, now))
+        """Number of items in a namespace (live items only when ``now`` given).
+
+        With ``now`` this expires what is due and then reads the namespace
+        index's size — no items are materialised or yielded.
+        """
+        if now is not None:
+            self.expire_items(now)
+        return len(self._by_namespace.get(namespace, ()))
 
     def purge_namespace(self, namespace: str) -> int:
         """Remove every item of ``namespace``; returns the number removed.
@@ -172,11 +240,37 @@ class StorageManager:
     # ------------------------------------------------------------- soft state
 
     def expire_items(self, now: float) -> int:
-        """Drop every expired item; returns the number dropped."""
-        expired = [key for key, item in self._items.items() if item.is_expired(now)]
-        for key in expired:
+        """Drop every expired item; returns the number dropped.
+
+        Pops the expiry heap only while its head deadline has passed, so the
+        cost is O(dropped · log n) plus any stale entries consumed along the
+        way — independent of how many live items the store holds.
+        """
+        heap = self._expiry_heap
+        items = self._items
+        dropped = 0
+        while heap and heap[0][0] < now:
+            expires_at, _seq, key = heapq.heappop(heap)
+            item = items.get(key)
+            if item is None or item.expires_at != expires_at:
+                self._heap_stale -= 1  # consumed a stale entry
+                continue
             self._remove_key(key)
-        return len(expired)
+            self._heap_stale -= 1  # ... but its entry was just popped
+            dropped += 1
+        if (self._heap_stale > self._COMPACT_FLOOR
+                and self._heap_stale > len(items)):
+            self._compact_heap()
+        return dropped
+
+    def _compact_heap(self) -> None:
+        """Rebuild the expiry heap from live items only (lazy compaction)."""
+        self._expiry_heap = [
+            (item.expires_at, next(self._heap_seq), key)
+            for key, item in self._items.items()
+        ]
+        heapq.heapify(self._expiry_heap)
+        self._heap_stale = 0
 
     # ------------------------------------------------------------- migration
 
@@ -193,8 +287,7 @@ class StorageManager:
 
     def install(self, items: List[StoredItem]) -> None:
         """Install items received from another node."""
-        for item in items:
-            self.store(item)
+        self.store_batch(items)
 
     def clear(self) -> int:
         """Drop everything (used when a node fails); returns items dropped."""
@@ -202,4 +295,6 @@ class StorageManager:
         self._items.clear()
         self._by_namespace.clear()
         self._by_resource.clear()
+        self._expiry_heap.clear()
+        self._heap_stale = 0
         return dropped

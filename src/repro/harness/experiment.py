@@ -67,6 +67,12 @@ class SimulationConfig:
     #: Coalescing window for same-destination sends; ``0.0`` merges sends
     #: issued at the same virtual instant.  Ignored when ``batching`` is off.
     coalesce_window_s: float = 0.0
+    #: Compiled row pipeline: slotted tuples plus plan-time expression
+    #: compilation on every executor.  ``False`` restores the interpreted
+    #: dict-per-row path (the seed behaviour) for A/B comparisons; the flag
+    #: is deployment-wide because rehashed fragments travel in the
+    #: representation the pipeline works on.
+    compiled_rows: bool = True
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -104,7 +110,9 @@ class PierNetwork:
                                 instance_seed=address,
                                 batching=config.batching)
             self.providers[address] = provider
-            self.executors[address] = QueryExecutor(node, provider)
+            self.executors[address] = QueryExecutor(
+                node, provider, compiled_rows=config.compiled_rows
+            )
         self.renewal_agents: Dict[int, RenewalAgent] = {}
 
     # ----------------------------------------------------------- construction

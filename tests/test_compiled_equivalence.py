@@ -1,0 +1,219 @@
+"""Compiled-vs-interpreted equivalence: same rows, same errors, both DHTs.
+
+The compiled row pipeline (slotted tuples + plan-time expression
+compilation) must be a pure representation change: every expression
+evaluates to the same value (or fails with the same error class), and every
+join strategy and aggregation shape returns the identical result multiset
+under ``SimulationConfig(compiled_rows=True)`` and ``False``, on CAN and
+Chord alike.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expressions import (
+    And,
+    Arithmetic,
+    Comparison,
+    FunctionCall,
+    Not,
+    Or,
+    col,
+    compare,
+    compile_expression,
+    lit,
+)
+from repro.core.query import JoinStrategy
+from repro.core.tuples import RowLayout
+from repro.exceptions import ExpressionError, SchemaError
+from repro.harness import run_query
+from repro.workloads import JoinWorkload, WorkloadConfig
+from tests.conftest import build_pier, build_workload, load_join_tables
+
+# --------------------------------------------------------------- expressions
+
+#: Layout of the post-join environment the fixtures evaluate against.
+MERGED_LAYOUT = RowLayout(
+    ["R.pkey", "R.num1", "R.num2", "R.num3", "S.pkey", "S.num2", "S.num3"]
+)
+
+#: Every expression shape the engine compiles, including the fig-3 query's
+#: predicates, qualified/bare resolution fallbacks and failure cases.
+EXPRESSION_FIXTURES = [
+    lit(42),
+    col("R.num2"),
+    col("num1"),                      # bare name, unique suffix match
+    col("R.missing"),                 # absent column -> ExpressionError
+    col("num2"),                      # ambiguous (R.num2 / S.num2)
+    compare("R.num2", ">", 50.0),     # fig-3 local predicate shape
+    compare("S.num2", ">", 25.0),
+    Comparison("=", col("R.num1"), col("S.pkey")),   # the equi-join condition
+    Comparison("!=", col("R.pkey"), lit(3)),
+    Comparison("<=", col("num3"), lit(10.0)),        # ambiguous -> error
+    Arithmetic("+", col("R.num2"), col("S.num2")),
+    Arithmetic("*", Arithmetic("-", col("R.num3"), lit(1.0)), lit(2.5)),
+    Arithmetic("/", col("R.num2"), col("S.num2")),   # may divide by zero
+    And([compare("R.num2", ">", 10.0), compare("S.num2", "<", 90.0)]),
+    And([compare("R.num2", ">", 10.0), compare("S.num2", "<", 90.0),
+         compare("R.num1", ">=", 0)]),
+    Or([compare("R.num2", ">", 99.0), compare("S.num2", "<", 1.0)]),
+    Not(compare("R.num3", ">", 50.0)),
+    ~(compare("R.num2", ">", 5.0) & compare("S.num3", ">", 5.0)),
+    # The paper's post-join UDF predicate f(R.num3, S.num3) > c.
+    Comparison(">", FunctionCall("f", (col("R.num3"), col("S.num3"))), lit(50.0)),
+    FunctionCall("f", (col("R.num3"), lit(7.0))),
+    FunctionCall("nope", (col("R.num3"),)),          # unregistered UDF
+]
+
+
+def _outcome(action):
+    """Value or error class of a callable, for exact-behaviour comparison."""
+    try:
+        return ("ok", action())
+    except Exception as error:  # noqa: BLE001 - class equality is the contract
+        return ("error", type(error))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.one_of(st.integers(min_value=-100, max_value=100),
+              st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+    min_size=len(MERGED_LAYOUT), max_size=len(MERGED_LAYOUT)))
+def test_every_fixture_expression_is_equivalent_compiled(values):
+    slotted = tuple(values)
+    environment = dict(zip(MERGED_LAYOUT.names, slotted))
+    for expression in EXPRESSION_FIXTURES:
+        interpreted = _outcome(lambda: expression.evaluate(environment))
+        compiled = _outcome(lambda: expression.compile(MERGED_LAYOUT)(slotted))
+        assert interpreted == compiled, f"{expression!r} diverged: " \
+            f"interpreted={interpreted} compiled={compiled}"
+
+
+def test_resolution_errors_surface_at_compile_time():
+    layout = RowLayout(["R.num2", "S.num2", "R.pkey"])
+    with pytest.raises(ExpressionError):
+        col("missing").compile(layout)
+    with pytest.raises(ExpressionError):
+        col("num2").compile(layout)  # ambiguous across R and S
+    # Qualified->bare and bare->qualified fallbacks resolve like evaluate().
+    bare = RowLayout(["num2", "pkey"])
+    assert col("R.num2").compile(bare)((1.5, 7)) == 1.5
+    assert col("pkey").compile(layout)((0, 0, 9)) == 9
+
+
+def test_compile_expression_passes_none_through():
+    assert compile_expression(None, MERGED_LAYOUT) is None
+
+
+def test_projection_errors_match_interpreted():
+    from repro.core.tuples import project_row
+
+    layout = RowLayout(["a", "b"])
+    with pytest.raises(SchemaError):
+        layout.getter(["a", "zap"])
+    with pytest.raises(SchemaError):
+        project_row({"a": 1, "b": 2}, ["a", "zap"])
+
+
+# ------------------------------------------------------------ join strategies
+
+
+def _strategy_rows(strategy, dht, compiled, num_nodes=16):
+    workload = build_workload(num_nodes)
+    pier = build_pier(num_nodes, dht=dht, compiled_rows=compiled)
+    load_join_tables(pier, workload)
+    query = workload.make_query(strategy=strategy)
+    result = run_query(pier, query, initiator=0)
+    return sorted(tuple(sorted(row.items())) for row in result.handle.rows)
+
+
+@pytest.mark.parametrize("dht", ["can", "chord"])
+@pytest.mark.parametrize("strategy", list(JoinStrategy))
+def test_all_join_strategies_identical_rows_both_pipelines(strategy, dht):
+    compiled = _strategy_rows(strategy, dht, compiled=True)
+    interpreted = _strategy_rows(strategy, dht, compiled=False)
+    assert compiled, "workload must produce rows for the comparison to bite"
+    assert compiled == interpreted
+
+
+def test_unprojected_join_rows_identical_both_pipelines():
+    """Without an output list the merged qualified row crosses the boundary."""
+    from repro.core.query import JoinClause, QuerySpec, TableRef
+
+    def run(compiled):
+        workload = build_workload(12)
+        pier = build_pier(12, compiled_rows=compiled)
+        load_join_tables(pier, workload)
+        query = QuerySpec(
+            tables=[TableRef(workload.r_relation, "R"),
+                    TableRef(workload.s_relation, "S")],
+            output_columns=["R.pkey", "S.pkey", "S.num3"],
+            join=JoinClause("R", "num1", "S", "pkey"),
+        )
+        result = run_query(pier, query, initiator=0)
+        return sorted(tuple(sorted(row.items())) for row in result.handle.rows)
+
+    assert run(True) == run(False)
+
+
+# -------------------------------------------------------------- aggregation
+
+
+def _aggregation_rows(compiled, hierarchical=False, distributed=True):
+    from repro.core.sql import SQLPlanner
+    from repro.workloads import NetworkMonitoringWorkload
+
+    workload = NetworkMonitoringWorkload(num_nodes=20, seed=5)
+    pier = build_pier(20, compiled_rows=compiled)
+    pier.load_relation(workload.intrusions, workload.intrusions_by_node)
+    planner = SQLPlanner(workload.catalog())
+    query = planner.plan_sql(
+        "SELECT I.fingerprint, count(*) AS cnt, max(I.port) AS hi "
+        "FROM intrusions I GROUP BY I.fingerprint"
+    )
+    query.hierarchical_aggregation = hierarchical
+    query.distributed_aggregation = distributed
+    result = run_query(pier, query, initiator=0)
+    return sorted(tuple(sorted(row.items())) for row in result.rows)
+
+
+@pytest.mark.parametrize("variant", ["flat", "hierarchical", "initiator"])
+def test_aggregation_identical_rows_both_pipelines(variant):
+    kwargs = {
+        "flat": dict(),
+        "hierarchical": dict(hierarchical=True),
+        "initiator": dict(distributed=False),
+    }[variant]
+    compiled = _aggregation_rows(True, **kwargs)
+    interpreted = _aggregation_rows(False, **kwargs)
+    assert compiled
+    assert compiled == interpreted
+
+
+# ------------------------------------------------------------- error parity
+
+
+def test_bad_predicate_raises_expression_error_in_both_pipelines():
+    """A predicate over a nonexistent column fails identically in both modes.
+
+    The compiled pipeline surfaces it at plan (graph-lowering) time, the
+    interpreted one on the first scanned row — both as ExpressionError while
+    the simulation advances.
+    """
+    for compiled in (True, False):
+        workload = build_workload(8)
+        pier = build_pier(8, compiled_rows=compiled)
+        load_join_tables(pier, workload)
+        query = workload.make_query(strategy=JoinStrategy.SYMMETRIC_HASH)
+        query.local_predicates["R"] = compare("no_such_column", ">", 1)
+        with pytest.raises(ExpressionError):
+            run_query(pier, query, initiator=0)
+
+
+def test_compiled_is_default_and_interpreted_is_optional():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=8, seed=3))
+    pier_default = build_pier(8)
+    load_join_tables(pier_default, workload)
+    assert pier_default.executor(0).compiled_rows is True
+    pier_off = build_pier(8, compiled_rows=False)
+    assert pier_off.executor(0).compiled_rows is False

@@ -145,3 +145,86 @@ def test_clear_drops_everything():
     assert storage.clear() == 2
     assert len(storage) == 0
     assert storage.namespaces() == []
+
+
+# ------------------------------------------------------------- expiry heap
+
+
+def test_count_uses_index_without_materializing(monkeypatch):
+    storage = StorageManager()
+    for i in range(5):
+        storage.store(make_item(resource=f"r{i}", instance=i, expires=10.0 + i))
+    # count() must not iterate items: poison scan to prove it is unused.
+    monkeypatch.setattr(storage, "scan",
+                        lambda *a, **k: (_ for _ in ()).throw(AssertionError))
+    assert storage.count("ns") == 5
+    assert storage.count("ns", now=12.5) == 2   # expires 13.0 and 14.0 survive
+    assert storage.count("missing", now=0.0) == 0
+
+
+def test_expiry_work_proportional_to_expired_not_store_size():
+    storage = StorageManager()
+    for i in range(200):
+        storage.store(make_item(resource=f"live{i}", instance=i, expires=1000.0))
+    storage.store(make_item(resource="stale", instance=999, expires=1.0))
+    assert storage.expire_items(now=5.0) == 1
+    assert len(storage) == 200
+    # Nothing left to expire: repeated sweeps pop nothing.
+    assert storage.expire_items(now=5.0) == 0
+
+
+def test_renewal_keeps_item_past_original_deadline():
+    storage = StorageManager()
+    storage.store(make_item(instance=1, expires=10.0))
+    storage.store(make_item(instance=1, expires=50.0))  # renewal overwrite
+    assert storage.expire_items(now=20.0) == 0          # old heap entry is stale
+    assert len(storage.retrieve("ns", "r1", now=20.0)) == 1
+    assert storage.expire_items(now=60.0) == 1
+
+
+def test_shortened_lifetime_expires_at_new_deadline():
+    storage = StorageManager()
+    storage.store(make_item(instance=1, expires=50.0))
+    storage.store(make_item(instance=1, expires=10.0))
+    assert storage.retrieve("ns", "r1", now=20.0) == []
+
+
+def test_heap_compaction_preserves_expiry_behaviour():
+    storage = StorageManager()
+    for i in range(300):
+        storage.store(make_item(resource=f"r{i}", instance=i, expires=100.0))
+    for i in range(250):
+        storage.remove("ns", f"r{i}")
+    # Trigger the lazy compaction path and verify expiry still works.
+    storage.expire_items(now=0.0)
+    assert len(storage) == 50
+    assert storage.expire_items(now=200.0) == 50
+    assert len(storage) == 0
+
+
+def test_store_batch_matches_sequential_stores():
+    batched = StorageManager()
+    sequential = StorageManager()
+    items = [make_item(namespace=f"n{i % 2}", resource=f"r{i % 3}", instance=i,
+                       expires=10.0 * (i + 1)) for i in range(12)]
+    batched.store_batch(items)
+    for item in items:
+        sequential.store(make_item(namespace=item.namespace,
+                                   resource=item.resource_id,
+                                   instance=item.instance_id,
+                                   expires=item.expires_at))
+    assert len(batched) == len(sequential)
+    assert batched.namespaces() == sequential.namespaces()
+    for namespace in batched.namespaces():
+        assert batched.count(namespace) == sequential.count(namespace)
+    batched.expire_items(now=45.0)
+    sequential.expire_items(now=45.0)
+    assert len(batched) == len(sequential)
+
+
+def test_has_instance_checks_exact_live_triple():
+    storage = StorageManager()
+    storage.store(make_item(instance=1, expires=10.0))
+    assert storage.has_instance("ns", "r1", 1, now=5.0)
+    assert not storage.has_instance("ns", "r1", 2, now=5.0)
+    assert not storage.has_instance("ns", "r1", 1, now=11.0)  # expired

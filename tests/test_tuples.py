@@ -5,6 +5,7 @@ import pytest
 from repro.core.tuples import (
     Column,
     RelationDef,
+    RowLayout,
     Schema,
     merge_rows,
     project_row,
@@ -137,3 +138,65 @@ def test_project_row_missing_column_raises():
 def test_merge_rows_combines_and_prefers_right_on_conflict():
     merged = merge_rows({"x": 1, "shared": "left"}, {"y": 2, "shared": "right"})
     assert merged == {"x": 1, "y": 2, "shared": "right"}
+
+
+# ----------------------------------------------------------------- row layout
+
+
+def test_schema_layout_and_index_of():
+    schema = sample_schema()
+    layout = schema.layout()
+    assert layout.names == tuple(schema.column_names)
+    for i, name in enumerate(schema.column_names):
+        assert schema.index_of(name) == i
+        assert layout.slots[name] == i
+    with pytest.raises(SchemaError):
+        sample_schema().index_of("nope")
+
+
+def test_layout_reader_builds_slotted_rows_in_order():
+    layout = RowLayout(["a", "b", "c"])
+    reader = layout.reader()
+    assert reader({"c": 3, "a": 1, "b": 2, "extra": 9}) == (1, 2, 3)
+    single = RowLayout(["only"]).reader()
+    assert single({"only": 5}) == (5,)
+
+
+def test_layout_getter_is_exact_and_reports_all_missing():
+    layout = RowLayout(["a", "b", "c"])
+    assert layout.getter(["c", "a"])((1, 2, 3)) == (3, 1)
+    assert layout.getter(["b"])((1, 2, 3)) == (2,)
+    with pytest.raises(SchemaError) as error:
+        layout.getter(["a", "x", "y"])
+    assert "x" in str(error.value) and "y" in str(error.value)
+
+
+def test_layout_qualify_and_concat_mirror_dict_helpers():
+    left = RowLayout(["pkey", "num2"]).qualified("R")
+    right = RowLayout(["pkey", "num3"]).qualified("S")
+    merged = left.concat(right)
+    row = (1, 2.0, 7, 3.0)
+    assert merged.to_dict(row) == merge_rows(
+        qualify("R", {"pkey": 1, "num2": 2.0}),
+        qualify("S", {"pkey": 7, "num3": 3.0}),
+    )
+
+
+def test_layout_slot_resolution_rules():
+    layout = RowLayout(["R.num2", "S.num2", "R.pkey"])
+    assert layout.slot("R.num2") == 0
+    assert layout.slot("pkey") == 2           # unique suffix match
+    assert layout.slot("missing") is None
+    with pytest.raises(SchemaError):
+        layout.slot("num2")                   # ambiguous suffix
+    bare = RowLayout(["num2", "pkey"])
+    assert bare.slot("R.num2") == 0           # qualified -> bare fallback
+
+
+def test_relation_resource_id_positional():
+    relation = RelationDef("R", sample_schema(), resource_id_column="name")
+    slot = relation.resource_id_slot
+    assert slot == sample_schema().index_of("name")
+    slotted = tuple(None if i != slot else "abc"
+                    for i in range(len(sample_schema())))
+    assert relation.resource_id(slotted) == "abc"
