@@ -121,6 +121,15 @@ def scaled(count: int) -> int:
     return value
 
 
+def row_key(row: Dict) -> tuple:
+    """Canonical sortable identity of one result row.
+
+    The single definition every benchmark's row-equivalence comparison
+    uses, so they cannot drift on what "identical rows" means.
+    """
+    return tuple(sorted(row.items()))
+
+
 def build_loaded_network(num_nodes: int,
                          s_tuples_per_node: int = 2,
                          seed: int = 0,

@@ -26,7 +26,7 @@ def sweep():
     num_nodes = scaled(64)
     rows = []
     for selectivity in SELECTIVITIES:
-        for strategy in JoinStrategy:
+        for strategy in JoinStrategy.physical():
             pier, workload = build_loaded_network(num_nodes, s_tuples_per_node=2, seed=6)
             outcome = run_benchmark_query(pier, workload, strategy,
                                           s_selectivity=selectivity)

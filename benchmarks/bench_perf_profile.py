@@ -221,10 +221,6 @@ def run_end_to_end(num_nodes: int, compiled: bool, seed: int = 5) -> dict:
     return row, outcome.handle.rows
 
 
-def _row_key(row: dict):
-    return tuple(sorted(row.items()))
-
-
 def sweep():
     node_counts = node_axis(DEFAULT_NODE_COUNTS)
     rows = []
@@ -236,8 +232,8 @@ def sweep():
             interpreted_row, interpreted_results = run_end_to_end(
                 num_nodes, compiled=False)
             rows.append(interpreted_row)
-            identical = (sorted(map(_row_key, compiled_results))
-                         == sorted(map(_row_key, interpreted_results)))
+            identical = (sorted(map(row_key, compiled_results))
+                         == sorted(map(row_key, interpreted_results)))
             ab_rows[num_nodes] = {
                 "result_rows": compiled_row["results"],
                 "identical_rows": identical,

@@ -3,17 +3,21 @@
 The paper motivates PIER with communal network intrusion detection: nodes
 publish attack "fingerprints" and related local observations into the DHT as
 soft state, and anyone can run declarative queries over the live data.  This
-example synthesises those relations over a 48-node network and runs, via the
-SQL front end, the three queries of Section 2.1:
+example synthesises those relations over a 48-node network and runs, through
+the ``PierClient`` session API, the three queries of Section 2.1:
 
 1. sources running both an open spam gateway and a web robot in one domain;
 2. a summary of widespread attacks (GROUP BY fingerprint HAVING cnt > 10);
 3. the same summary weighted by each reporter's reputation.
 
+The join queries use ``strategy="auto"`` (the client default): the
+cost-based optimizer picks the physical join strategy from the statistics
+published alongside the relations.
+
 Run with: ``python examples/network_intrusion_monitoring.py``
 """
 
-from repro import PierNetwork, SimulationConfig, SQLPlanner, run_query
+from repro import PierNetwork, SimulationConfig
 from repro.harness.reporting import format_table
 from repro.workloads import NetworkMonitoringWorkload
 
@@ -50,24 +54,26 @@ def main() -> None:
     pier.load_relation(workload.spam_gateways, workload.spam_by_node)
     pier.load_relation(workload.robots, workload.robots_by_node)
 
-    planner = SQLPlanner(workload.catalog())
+    client = pier.client(node=0, catalog=workload.catalog())
 
     print("\n=== Query 1: compromised sources (spam gateway + robot in one domain) ===")
-    result = run_query(pier, planner.plan_sql(COMPROMISED_SOURCES_SQL,
-                                              result_tuple_bytes=64), initiator=0)
-    sources = sorted({row["S.source"] for row in result.rows})
+    cursor = client.sql(COMPROMISED_SOURCES_SQL, result_tuple_bytes=64)
+    rows = cursor.fetchall()
+    print(f"  optimizer picked: {cursor.query.strategy.value}")
+    sources = sorted({row["S.source"] for row in rows})
     print(f"  sources: {sources}")
     print(f"  (golden: {workload.expected_compromised_sources()})")
 
     print("\n=== Query 2: widespread attack fingerprints ===")
-    result = run_query(pier, planner.plan_sql(ATTACK_SUMMARY_SQL), initiator=0)
-    rows = sorted(result.rows, key=lambda row: -row["cnt"])
+    rows = client.sql(ATTACK_SUMMARY_SQL).fetchall()
+    rows = sorted(rows, key=lambda row: -row["cnt"])
     print(format_table("fingerprint counts (> 10 reports)", rows,
                        columns=["I.fingerprint", "cnt"]))
 
     print("\n=== Query 3: reputation-weighted attack summary ===")
-    result = run_query(pier, planner.plan_sql(WEIGHTED_SUMMARY_SQL), initiator=0)
-    rows = sorted(result.rows, key=lambda row: -row["wcnt"])[:10]
+    cursor = client.sql(WEIGHTED_SUMMARY_SQL)
+    rows = sorted(cursor.fetchall(), key=lambda row: -row["wcnt"])[:10]
+    print(f"  optimizer picked: {cursor.query.strategy.value}")
     print(format_table("weighted counts (top 10, wcnt > 10)", rows,
                        columns=["I.fingerprint", "wcnt"]))
 

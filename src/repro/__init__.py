@@ -30,17 +30,24 @@ from repro.client import PierClient, ResultCursor
 from repro.core import (
     BloomFilter,
     Catalog,
+    ColumnStats,
+    GraphCost,
     JoinClause,
     JoinStrategy,
     OpGraph,
+    OptimizationReport,
     PeriodicQuery,
     QueryExecutor,
     QueryHandle,
     QuerySpec,
+    RelationStats,
     SlidingWindowPredicate,
     SQLPlanner,
+    StatsRegistry,
     TableRef,
+    TopologyParams,
     build_opgraph,
+    optimize_query,
     parse_sql,
 )
 from repro.core.tuples import Column, RelationDef, Schema
@@ -74,6 +81,14 @@ __all__ = [
     "Column",
     "Schema",
     "RelationDef",
+    # statistics / optimizer
+    "ColumnStats",
+    "RelationStats",
+    "StatsRegistry",
+    "GraphCost",
+    "OptimizationReport",
+    "TopologyParams",
+    "optimize_query",
     # dht
     "CanRouting",
     "CanNetworkBuilder",

@@ -32,14 +32,16 @@ driving the network themselves and simply read the cursor's views.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
+from repro.core import costmodel
 from repro.core.catalog import Catalog
 from repro.core.continuous import PeriodicQuery, SlidingWindowPredicate
 from repro.core.executor import QueryExecutor, QueryHandle
 from repro.core.opgraph import OpGraph, build_opgraph
 from repro.core.query import JoinStrategy, QuerySpec
 from repro.core.sql.planner import SQLPlanner
+from repro.core.stats import StatsRegistry
 from repro.core.tuples import RelationDef
 from repro.exceptions import PlanError
 
@@ -148,7 +150,10 @@ class ResultCursor:
         With ``drain`` (the default) the simulation is run until idle so the
         teardown flood is fully delivered; pass ``drain=False`` inside
         experiments that keep periodic processes running (their event queues
-        never drain).
+        never drain).  Closing a query that was neither cancelled nor timed
+        out records its observed result cardinality as optimizer feedback —
+        drive it to completion first (``fetchall``/iteration) so the count
+        is the full result.
         """
         if self._closed:
             return
@@ -158,7 +163,11 @@ class ResultCursor:
 
     def _teardown(self) -> None:
         self._closed = True
-        self._executor.finish(self.query_id)
+        # Observed-cardinality feedback is only trustworthy when the result
+        # stream ran to completion; a LIMIT/timeout/cancel truncation would
+        # publish an artificially low join selectivity.
+        complete = not self.cancelled and not self.timed_out
+        self._executor.finish(self.query_id, record_feedback=complete)
 
     # ---------------------------------------------------------------- driving
 
@@ -282,15 +291,25 @@ class PierClient:
         later with :meth:`register`.
     default_strategy:
         Join strategy used when a call does not pick one explicitly.
+        Defaults to :attr:`JoinStrategy.AUTO`: the cost-based optimizer
+        picks the cheapest feasible strategy from statistics published into
+        the ``__pier_stats__`` DHT namespace.  Pass a physical strategy (or
+        per-call ``strategy=...``) to force one for A/B runs.
+    stats:
+        Statistics registry used for AUTO planning.  Defaults to the
+        initiating node's executor registry, which accumulates publish-time
+        partials and runtime feedback; planning refreshes it from the DHT.
     """
 
     def __init__(self, pier, node: int = 0, catalog: Optional[Catalog] = None,
-                 default_strategy: JoinStrategy = JoinStrategy.SYMMETRIC_HASH):
+                 default_strategy: JoinStrategy = JoinStrategy.AUTO,
+                 stats: Optional[StatsRegistry] = None):
         self.pier = pier
         self.node = node
         self.catalog = catalog if catalog is not None else Catalog()
         self.default_strategy = default_strategy
         self.planner = SQLPlanner(self.catalog)
+        self._stats = stats
 
     # ----------------------------------------------------------------- wiring
 
@@ -299,18 +318,112 @@ class PierClient:
         """The initiating node's query executor."""
         return self.pier.executor(self.node)
 
+    @property
+    def stats(self) -> StatsRegistry:
+        """The statistics registry AUTO planning reads and refreshes."""
+        if self._stats is not None:
+            return self._stats
+        registry = getattr(self.executor, "stats", None)
+        if registry is None:
+            registry = self._stats = StatsRegistry()
+        return registry
+
     def register(self, relation: RelationDef, replace: bool = False) -> RelationDef:
         """Register a relation so SQL can reference it."""
         return self.catalog.register(relation, replace=replace)
 
+    # ------------------------------------------------------------- statistics
+
+    def _refresh_stats(self, names: Sequence[str],
+                       signatures: Sequence[str] = (),
+                       drive: bool = True) -> None:
+        """Refresh relation statistics (and join feedback) from the DHT.
+
+        Issues one ``get`` per relation/signature against the
+        ``__pier_stats__`` namespace; with ``drive`` the simulation is
+        advanced until the replies arrive (planning happens from user code,
+        outside simulator events).  ``drive=False`` fires the fetches and
+        returns — the asynchronous pattern continuous queries use inside
+        timer callbacks, where the replies refresh the registry for the
+        *next* window.
+        """
+        executor = self.executor
+        provider = getattr(executor, "provider", None)
+        if provider is None:
+            return
+        registry = self.stats
+        pending = set()
+        for name in names:
+            token = ("rel", name)
+            pending.add(token)
+            registry.fetch_relation(
+                provider, name,
+                lambda _stats, token=token: pending.discard(token),
+            )
+        for signature in signatures:
+            token = ("join", signature)
+            pending.add(token)
+            registry.fetch_join_observation(
+                provider, signature,
+                lambda _obs, token=token: pending.discard(token),
+            )
+        if not drive:
+            return
+        network = getattr(self.pier, "network", None)
+        if network is None:
+            return
+        # Bounded drive: a handful of lookups resolve in well under this
+        # horizon; if a reply is lost (owner failed mid-fetch) planning must
+        # not spin a never-idle network (renewal agents, monitors) forever —
+        # whatever partials arrived are used, the rest fall back to defaults.
+        deadline = network.now + 30.0
+        while pending and network.now < deadline:
+            next_time = network.simulator.next_event_time()
+            if next_time is None:
+                return
+            network.run(until=min(next_time, deadline),
+                        max_events=DRIVE_CHUNK_EVENTS)
+
+    def _attach_planning_context(self, query: QuerySpec,
+                                 refresh: bool = True) -> None:
+        """Attach statistics, topology and feedback hints to a query spec."""
+        names = [table.relation.name for table in query.tables]
+        signature = costmodel.query_join_signature(query)
+        if refresh:
+            self._refresh_stats(names, [signature] if signature else ())
+        registry = self.stats
+        query.stats_map = {
+            table.alias: registry.best_estimate(table.relation.name)
+            for table in query.tables
+        }
+        query.topology = costmodel.TopologyParams.from_pier(self.pier)
+        if signature is not None:
+            query.join_selectivity_hint = registry.join_selectivity(signature)
+
+    def _resolve_auto(self, query: QuerySpec, refresh: bool = True) -> None:
+        """Resolve ``strategy=AUTO`` on ``query`` from (refreshed) statistics."""
+        if query.strategy is not JoinStrategy.AUTO or not query.is_join:
+            return
+        self._attach_planning_context(query, refresh=refresh)
+        costmodel.resolve_auto_strategy(query)
+
     # ---------------------------------------------------------------- queries
 
     def plan(self, sql: str, strategy: Optional[JoinStrategy] = None,
-             **query_options) -> QuerySpec:
-        """Plan SQL text into a :class:`QuerySpec` without running it."""
-        return self.planner.plan_sql(
+             resolve_auto: bool = True, **query_options) -> QuerySpec:
+        """Plan SQL text into a :class:`QuerySpec` without running it.
+
+        With the default ``strategy=AUTO``, planning refreshes relation
+        statistics from the DHT and resolves the spec to the cheapest
+        feasible physical strategy (``resolve_auto=False`` leaves the
+        template unresolved — continuous queries re-optimize per window).
+        """
+        query = self.planner.plan_sql(
             sql, strategy=strategy or self.default_strategy, **query_options
         )
+        if resolve_auto:
+            self._resolve_auto(query)
+        return query
 
     def sql(self, sql: str, strategy: Optional[JoinStrategy] = None,
             limit: Optional[int] = None, timeout_s: Optional[float] = None,
@@ -329,7 +442,14 @@ class PierClient:
         return self.query(query, timeout_s=timeout_s)
 
     def query(self, query: QuerySpec, timeout_s: Optional[float] = None) -> ResultCursor:
-        """Submit an already-built :class:`QuerySpec` from this session's node."""
+        """Submit an already-built :class:`QuerySpec` from this session's node.
+
+        ``strategy=AUTO`` specs are cost-resolved here (statistics refreshed
+        from the DHT first) so the multicast disseminates a concrete
+        physical plan.
+        """
+        if query.strategy is JoinStrategy.AUTO:
+            self._resolve_auto(query)
         handle = self.executor.submit(query)
         return ResultCursor(self.pier, self.executor, query, handle,
                             timeout_s=timeout_s)
@@ -343,10 +463,30 @@ class PierClient:
 
     def explain(self, sql: str, strategy: Optional[JoinStrategy] = None,
                 **query_options) -> str:
-        """Render the physical operator graph for a SQL query (EXPLAIN)."""
-        return "\n".join(
-            self.opgraph(sql, strategy=strategy, **query_options).describe()
+        """Render the physical operator graph for a SQL query (EXPLAIN).
+
+        Each operator is annotated with the cost model's estimated
+        rows/bytes/DHT hops, followed by the plan's estimated completion
+        time; when the optimizer resolved ``strategy=AUTO``, the losing
+        candidates' totals are listed under the plan so forced-strategy A/B
+        runs can be judged against the model.
+        """
+        query = self.plan(sql, strategy=strategy, **query_options)
+        if query.stats_map is None:
+            # Forced strategies skip AUTO resolution; attach context (from
+            # the local registry, refreshed from the DHT) so the EXPLAIN
+            # still carries estimates.
+            self._attach_planning_context(query)
+        graph = build_opgraph(query)
+        cost = costmodel.cost_graph(
+            graph, stats_map=query.stats_map, topology=query.topology,
+            observed_join_selectivity=query.join_selectivity_hint,
         )
+        lines = graph.describe(cost=cost)
+        report = query.optimizer_report
+        if report is not None:
+            lines.extend(report.describe())
+        return "\n".join(lines)
 
     # -------------------------------------------------------------- continuous
 
@@ -364,17 +504,42 @@ class PierClient:
 
         ``window_column``/``window_s`` restrict each execution to rows whose
         timestamp column falls inside the trailing window.
+
+        With ``strategy=AUTO`` (the default) the template stays unresolved
+        and every window is re-optimized against the statistics registry as
+        it stands at submission time; each window also fires an
+        asynchronous statistics refresh from the DHT, so a drifting
+        workload can flip the chosen strategy between windows.
         """
-        template = self.plan(sql, strategy=strategy, **query_options)
+        template = self.plan(sql, strategy=strategy, resolve_auto=False,
+                             **query_options)
         window = None
         if window_column is not None:
             if window_s is None:
                 raise ValueError("window_column requires window_s")
             window = SlidingWindowPredicate(window_column, window_s)
+        prepare = self._prepare_continuous_window if (
+            template.strategy is JoinStrategy.AUTO and template.is_join
+        ) else None
         return PeriodicQuery(
             self.executor, template, period_s,
             window=window, on_window=on_window, teardown_previous=True,
+            prepare_window=prepare,
         )
+
+    def _prepare_continuous_window(self, query: QuerySpec) -> None:
+        """Re-optimize one continuous-query window before submission.
+
+        Runs inside a simulator timer event, so the DHT statistics refresh
+        is asynchronous: this window plans from the registry as refreshed by
+        previous windows' fetches (and the feedback recorded at their
+        teardown); its own fetches serve the next window.
+        """
+        self._resolve_auto(query, refresh=False)
+        names = [table.relation.name for table in query.tables]
+        signature = costmodel.query_join_signature(query)
+        self._refresh_stats(names, [signature] if signature else (),
+                            drive=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PierClient(node={self.node}, catalog={self.catalog!r})"

@@ -26,6 +26,21 @@ from repro.core.expressions import (
     lit,
 )
 from repro.core.bloom import BloomFilter
+from repro.core.stats import (
+    STATS_NAMESPACE,
+    ColumnStats,
+    RelationStats,
+    StatsRegistry,
+)
+from repro.core.costmodel import (
+    GraphCost,
+    OptimizationReport,
+    TopologyParams,
+    bloom_parameters,
+    cost_graph,
+    estimate_selectivity,
+    optimize_query,
+)
 from repro.core.query import (
     AggregateSpec,
     JoinClause,
@@ -70,4 +85,16 @@ __all__ = [
     "Catalog",
     "parse_sql",
     "SQLPlanner",
+    # statistics / optimizer
+    "STATS_NAMESPACE",
+    "ColumnStats",
+    "RelationStats",
+    "StatsRegistry",
+    "GraphCost",
+    "OptimizationReport",
+    "TopologyParams",
+    "bloom_parameters",
+    "cost_graph",
+    "estimate_selectivity",
+    "optimize_query",
 ]

@@ -32,6 +32,10 @@ class Catalog:
 
     def __init__(self) -> None:
         self._relations: Dict[str, RelationDef] = {}
+        #: Stable instanceID per published relation name, so re-publication
+        #: *renews* the existing soft-state entry (instead of accumulating
+        #: duplicate items) and :meth:`unpublish` can retract it.
+        self._published: Dict[str, int] = {}
 
     # -------------------------------------------------------------- local API
 
@@ -80,10 +84,18 @@ class Catalog:
         """Names of all registered relations."""
         return sorted(self._relations)
 
-    def drop(self, name: str) -> None:
-        """Remove a relation definition."""
+    def drop(self, name: str, provider=None) -> None:
+        """Remove a relation definition.
+
+        Catalog entries previously :meth:`publish`\\ ed into the DHT are soft
+        state: without retraction they stay fetchable until their lifetime
+        elapses.  Pass ``provider`` to also :meth:`unpublish` the entry, so
+        remote nodes stop resolving the dropped relation immediately.
+        """
         if name not in self._relations:
             raise CatalogError(f"unknown relation {name!r}")
+        if provider is not None:
+            self.unpublish(provider, name)
         del self._relations[name]
 
     # ---------------------------------------------------------- DHT publication
@@ -92,20 +104,49 @@ class Catalog:
         """Publish every registered definition into the catalog namespace.
 
         Returns the number of entries published.  Entries are stored keyed by
-        relation name so any node can ``get`` them.
+        relation name so any node can ``get`` them.  Each relation re-uses a
+        stable instanceID, so calling this periodically *renews* the
+        soft-state entries rather than duplicating them.
         """
         published = 0
         for name, relation in self._relations.items():
-            provider.put(
+            instance_id = provider.put(
                 CATALOG_NAMESPACE,
                 name,
-                None,
+                self._published.get(name),
                 relation,
                 lifetime=lifetime,
                 item_bytes=128,
             )
+            self._published[name] = instance_id
             published += 1
         return published
+
+    def unpublish(self, provider, name: Optional[str] = None) -> int:
+        """Retract previously published catalog entries from the DHT.
+
+        The DHT offers no hard delete — everything is soft state — so
+        retraction is an idempotent re-``put`` of the same
+        (namespace, name, instanceID) triple with a zero lifetime: the
+        owner's storage manager overwrites the live entry with one that is
+        already expired, and subsequent :meth:`fetch_remote` calls see
+        nothing.  With ``name=None`` every entry this catalog published is
+        retracted.  Returns the number of entries retracted; entries never
+        published by *this* catalog instance cannot be retracted (soft-state
+        expiry remains their only end of life).
+        """
+        if name is not None:
+            if name not in self._published:
+                return 0
+            names = [name]
+        else:
+            names = list(self._published)
+        for entry in names:
+            provider.put(
+                CATALOG_NAMESPACE, entry, self._published.pop(entry),
+                None, lifetime=0.0, item_bytes=32,
+            )
+        return len(names)
 
     def fetch_remote(self, provider, name: str,
                      callback: Callable[[Optional[RelationDef]], None]) -> None:

@@ -68,12 +68,19 @@ class PeriodicQuery:
         monitors do not accumulate per-node query state.
         ``PierClient.continuous`` enables this; direct construction keeps
         the historical default (off) for back compatibility.
+    prepare_window:
+        Optional callable invoked with each window's cloned
+        :class:`QuerySpec` (window predicate already applied) just before
+        submission.  ``PierClient.continuous`` uses it to re-optimize
+        ``strategy=AUTO`` templates per window from refreshed statistics, so
+        a drifting workload can flip strategy between windows.
     """
 
     def __init__(self, executor, query_template: QuerySpec, period_s: float,
                  window: Optional[SlidingWindowPredicate] = None,
                  on_window: Optional[Callable] = None,
-                 teardown_previous: bool = False):
+                 teardown_previous: bool = False,
+                 prepare_window: Optional[Callable[[QuerySpec], None]] = None):
         if period_s <= 0:
             raise ValueError("continuous queries need a positive period")
         self.executor = executor
@@ -82,6 +89,7 @@ class PeriodicQuery:
         self.window = window
         self.on_window = on_window
         self.teardown_previous = teardown_previous
+        self.prepare_window = prepare_window
         self.handles: List = []
         self._timer = None
 
@@ -108,13 +116,17 @@ class PeriodicQuery:
             self._timer.cancel()
             self._timer = None
         if teardown_last and self.handles:
-            self.executor.finish(self.handles[-1].query.query_id)
+            self.executor.finish(self.handles[-1].query.query_id,
+                                 record_feedback=True)
 
     # -------------------------------------------------------------- internals
 
     def _execute_window(self) -> None:
         if self.teardown_previous and self.handles:
-            self.executor.finish(self.handles[-1].query.query_id)
+            # The previous window had a full period to drain, so its result
+            # count is complete — fold it into the optimizer feedback.
+            self.executor.finish(self.handles[-1].query.query_id,
+                                 record_feedback=True)
         # Rebuild only the per-window mutable state (fresh query id and
         # containers); the immutable plan and expressions are shared, so a
         # window costs no deep copy of the whole spec.
@@ -125,6 +137,8 @@ class PeriodicQuery:
             query.local_predicates[alias] = self.window.combined_with(
                 existing, self.executor.now
             )
+        if self.prepare_window is not None:
+            self.prepare_window(query)
         handle = self.executor.submit(query)
         self.handles.append(handle)
         if self.on_window is not None:

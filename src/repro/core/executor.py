@@ -56,6 +56,7 @@ from repro.core.operators.sink import Collector
 from repro.core.operators.base import Operator, chain
 from repro.core.plan import build_final_aggregation, finalize_aggregation_rows
 from repro.core.query import QuerySpec, QueryTeardown
+from repro.core.stats import StatsRegistry
 from repro.core.tuples import merge_rows, project_row, qualify
 from repro.dht.naming import hash_key
 from repro.dht.provider import DHTItem, Provider
@@ -172,6 +173,10 @@ class _NodeQueryState:
     timers: List[Any] = field(default_factory=list)
     #: Temporary namespaces this node may hold fragments of.
     temp_namespaces: Set[str] = field(default_factory=set)
+    #: Observed per-alias selected-row counts of this node's scan chains
+    #: (runtime-cardinality feedback folded into the stats registry at
+    #: teardown).
+    observed_selected: Dict[str, int] = field(default_factory=dict)
 
 
 class QueryExecutor:
@@ -189,6 +194,10 @@ class QueryExecutor:
         #: path.  All nodes of a deployment must agree: rehashed fragments
         #: are exchanged in the representation the pipeline works on.
         self.compiled_rows = compiled_rows
+        #: Node-local statistics cache: publish-time partials, fetched
+        #: global views, and the observed cardinalities / join selectivities
+        #: recorded by the feedback path below.
+        self.stats = StatsRegistry()
         self._states: Dict[int, _NodeQueryState] = {}
         self._handles: Dict[int, QueryHandle] = {}
         #: query_id -> teardown time, so late query floods are suppressed.
@@ -229,7 +238,7 @@ class QueryExecutor:
         )
         return handle
 
-    def finish(self, query_id: int) -> None:
+    def finish(self, query_id: int, record_feedback: bool = False) -> None:
         """Tear a query down everywhere (initiator-side lifecycle call).
 
         Multicasts a :class:`QueryTeardown` control message; every node
@@ -237,11 +246,60 @@ class QueryExecutor:
         and subscriptions, cancels its timers, purges locally stored
         temporary fragments and drops its per-query state.  Result rows
         still in flight are discarded on arrival.
+
+        ``record_feedback`` folds the query's observed result cardinality
+        into the statistics registry first.  Callers must only set it when
+        the result stream ran to completion — a LIMIT/timeout/cancel
+        truncation would publish an artificially low selectivity that
+        poisons future AUTO planning (the :class:`repro.client.ResultCursor`
+        makes this distinction).
         """
+        if record_feedback:
+            handle = self._handles.get(query_id)
+            if handle is not None:
+                self._record_query_feedback(handle)
         self.provider.multicast(
             QUERY_NAMESPACE, ("teardown", query_id), QueryTeardown(query_id),
             payload_bytes=TEARDOWN_MESSAGE_BYTES,
         )
+
+    def _record_query_feedback(self, handle: QueryHandle) -> None:
+        """Fold the finished query's observed cardinalities into the stats.
+
+        The initiator knows the true result cardinality; normalising it by
+        the optimizer's estimated selected inputs yields an *observed* join
+        selectivity for this join signature, which is blended into the local
+        registry and published into the ``__pier_stats__`` namespace so any
+        future planning node's estimate converges toward truth.
+
+        Only queries planned with real statistics report: a spec with
+        neither an optimizer report nor an attached ``stats_map`` would be
+        normalised by arbitrary default cardinalities, publishing a
+        selectivity on a different basis than AUTO planning reads — one
+        forced A/B run would then skew every later AUTO estimate.
+        """
+        query = handle.query
+        if not query.is_join:
+            return
+        from repro.core import costmodel
+
+        signature = costmodel.query_join_signature(query)
+        if signature is None:
+            return
+        report = query.optimizer_report
+        if report is not None and report.estimated_inputs:
+            inputs = report.estimated_inputs
+        elif query.stats_map is not None:
+            inputs = costmodel.estimated_selected_inputs(query, query.stats_map)
+        else:
+            return  # no trustworthy normalisation basis
+        denominator = 1.0
+        for alias in query.aliases:
+            denominator *= max(1.0, inputs.get(alias, 1.0))
+        selectivity = handle.result_count / denominator
+        self.stats.observe_join(signature, selectivity, handle.result_count,
+                                at=self.now)
+        self.stats.publish_join_observation(self.provider, signature)
 
     def handle(self, query_id: int) -> QueryHandle:
         """Handle of a query previously submitted from this node."""
@@ -338,6 +396,13 @@ class QueryExecutor:
                 return
             rows = self._scan_rows(query, scan_node.params["alias"],
                                    predicate, columns)
+
+        # Runtime-cardinality feedback: remember what this chain's scan
+        # actually produced (max, not sum — Bloom runs a side's chain twice).
+        alias = scan_node.params["alias"]
+        state.observed_selected[alias] = max(
+            state.observed_selected.get(alias, 0), len(rows)
+        )
 
         if terminal.kind is OpKind.REHASH:
             self._run_rehash(query, state, terminal, rows, bloom_filter)
@@ -895,6 +960,13 @@ class QueryExecutor:
         self._handles.pop(query_id, None)
         if state is None:
             return False
+        # Per-node cardinality feedback: keep what this node's scans saw.
+        for alias, selected in state.observed_selected.items():
+            try:
+                relation = state.query.table(alias).relation
+            except PlanError:  # pragma: no cover - aliases come from the spec
+                continue
+            self.stats.observe_scan(relation.name, selected, at=self.now)
         for namespace, callback in state.new_data_registrations:
             self.provider.off_new_data(namespace, callback)
         for namespace, handler in state.multicast_subscriptions:

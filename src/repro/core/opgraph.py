@@ -210,14 +210,26 @@ class OpGraph:
             return "scan + initiator aggregation"
         return "selection/projection scan"
 
-    def describe(self) -> List[str]:
-        """Human-readable physical plan, one line per operator."""
+    def describe(self, cost=None) -> List[str]:
+        """Human-readable physical plan, one line per operator.
+
+        ``cost`` (a :class:`repro.core.costmodel.GraphCost`) annotates each
+        operator with its estimated rows/bytes/hops and appends the plan's
+        estimated completion time — the EXPLAIN surface of the optimizer.
+        """
         lines = [f"Query {self.query.query_id} physical plan ({self.flavor()})"]
         printed: set = set()
+        annotations = cost.per_op if cost is not None else {}
         for root in self.roots():
             lines.append(f"  on {self._activation_text(root)}:")
             self._describe_chain(root, lines, indent="    ", arrow="",
-                                 printed=printed)
+                                 printed=printed, annotations=annotations)
+        if cost is not None:
+            lines.append(
+                f"  estimated: time {cost.completion_time_s:.3f}s, "
+                f"result rows {cost.result_rows:.3g}, "
+                f"moved {cost.moved_bytes:.3g}B, dht hops {cost.dht_hops:.3g}"
+            )
         return lines
 
     @staticmethod
@@ -231,7 +243,8 @@ class OpGraph:
         return "start"
 
     def _describe_chain(self, node: OpNode, lines: List[str], indent: str,
-                        arrow: str, printed: set) -> None:
+                        arrow: str, printed: set,
+                        annotations: Optional[Dict[int, Any]] = None) -> None:
         prefix = f"{indent}{arrow} " if arrow else indent
         if node.op_id in printed:
             # Converging edges (e.g. both rehash chains feed one probe) are
@@ -239,10 +252,16 @@ class OpGraph:
             lines.append(f"{prefix}[{node.op_id}] {node.label} (see above)")
             return
         printed.add(node.op_id)
-        lines.append(f"{prefix}[{node.op_id}] {node.label}")
+        suffix = ""
+        if annotations:
+            estimate = annotations.get(node.op_id)
+            if estimate is not None:
+                suffix = estimate.annotation()
+        lines.append(f"{prefix}[{node.op_id}] {node.label}{suffix}")
         for edge, target in self.downstream(node):
             self._describe_chain(target, lines, indent + "  ",
-                                 _ARROWS[edge.kind], printed)
+                                 _ARROWS[edge.kind], printed,
+                                 annotations=annotations)
 
 
 # --------------------------------------------------------------------- lowering
@@ -289,6 +308,16 @@ def build_opgraph(query: QuerySpec, compiled: bool = False) -> OpGraph:
         cached = cache.get(compiled)
         if cached is not None and cached[0] == query.query_id:
             return cached[1]
+    if query.strategy is JoinStrategy.AUTO:
+        # Cost-based resolution: enumerate candidate strategy graphs, cost
+        # each from the planning context attached to the spec (statistics,
+        # topology, observed feedback) and rewrite ``query.strategy`` to the
+        # winner.  The spec is shared by every node of a simulation, so the
+        # decision is made once and every participant lowers the same
+        # physical graph.
+        from repro.core.costmodel import resolve_auto_strategy
+
+        resolve_auto_strategy(query)
     graph = OpGraph(query)
     if query.is_join:
         strategy = query.strategy

@@ -27,7 +27,7 @@ import copy
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.expressions import Expression
 from repro.core.tuples import RelationDef
@@ -55,12 +55,25 @@ class QueryTeardown:
 
 
 class JoinStrategy(enum.Enum):
-    """Distributed equi-join algorithms / rewrites (paper Section 4)."""
+    """Distributed equi-join algorithms / rewrites (paper Section 4).
+
+    ``AUTO`` is not an algorithm: it asks the cost-based optimizer
+    (:mod:`repro.core.costmodel`) to pick the cheapest feasible physical
+    strategy from published relation statistics.  It is resolved to one of
+    the four physical members before the query is lowered; code iterating
+    over the actual algorithms should use :meth:`physical`.
+    """
 
     SYMMETRIC_HASH = "symmetric_hash"
     FETCH_MATCHES = "fetch_matches"
     SYMMETRIC_SEMI_JOIN = "symmetric_semi_join"
     BLOOM = "bloom"
+    AUTO = "auto"
+
+    @classmethod
+    def physical(cls) -> List["JoinStrategy"]:
+        """The four executable join algorithms (everything except AUTO)."""
+        return [strategy for strategy in cls if strategy is not cls.AUTO]
 
 
 @dataclass(frozen=True)
@@ -155,9 +168,25 @@ class QuerySpec:
     temp_lifetime_s: float = 300.0
     #: How long group owners / Bloom collectors wait before finalising.
     collection_window_s: float = 4.0
-    #: Bloom filter sizing for the BLOOM strategy.
+    #: Bloom filter sizing for the BLOOM strategy.  ``strategy=AUTO``
+    #: overrides these from the estimated build-side cardinality and a
+    #: target false-positive rate when the optimizer picks Bloom.
     bloom_bits: int = 8192
     bloom_hashes: int = 4
+    #: Planning context for ``strategy=AUTO``: per-alias
+    #: :class:`repro.core.stats.RelationStats` attached by the client (or
+    #: harness) before the spec is lowered.  ``None`` makes the optimizer
+    #: fall back to deterministic schema-derived defaults.
+    stats_map: Optional[Dict[str, Any]] = None
+    #: :class:`repro.core.costmodel.TopologyParams` of the deployment the
+    #: query will run on (AUTO planning context).
+    topology: Optional[Any] = None
+    #: Observed join selectivity for this query's join signature, fed back
+    #: from previous executions (AUTO planning context).
+    join_selectivity_hint: Optional[float] = None
+    #: The optimizer's decision record, set when AUTO is resolved; rendered
+    #: by ``PierClient.explain``.
+    optimizer_report: Optional[Any] = None
 
     # ------------------------------------------------------------ validation
 
@@ -209,6 +238,9 @@ class QuerySpec:
             clone.computation_nodes = list(self.computation_nodes)
         clone.query_id = next_query_id()
         clone.__dict__.pop("_opgraph_cache", None)
+        # Each window makes its own optimizer decision (an AUTO template
+        # stays AUTO here and is re-resolved against refreshed statistics).
+        clone.optimizer_report = None
         return clone
 
     @property

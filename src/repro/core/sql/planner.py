@@ -3,10 +3,12 @@
 The planner resolves table names against a catalog, classifies WHERE
 conjuncts into per-table local selections, the equi-join clause and residual
 (post-join) predicates, lifts aggregate calls out of the SELECT list and
-HAVING clause, and qualifies bare column names.  It deliberately performs no
-cost-based optimisation — the paper postpones query optimisation — but it
-does expose the join-strategy knob so callers (and the benchmarks) can pick
-any of the four algorithms.
+HAVING clause, and qualifies bare column names.  Physical strategy choice is
+a separate concern: callers either force one of the four join algorithms via
+the ``strategy`` knob (the benchmarks' A/B runs), or pass
+``JoinStrategy.AUTO`` — the :class:`~repro.client.PierClient` default — and
+the cost-based optimizer (:mod:`repro.core.costmodel`) resolves the spec
+from DHT-published statistics before it is lowered.
 """
 
 from __future__ import annotations

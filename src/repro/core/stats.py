@@ -1,0 +1,405 @@
+"""Relation statistics: the optimizer's view of what lives in the DHT.
+
+The paper postpones query optimisation, but its experiments (Figures 4–5)
+show that no single join strategy wins — the right choice depends on
+relation sizes and predicate selectivities.  This module provides the raw
+material a cost-based optimizer needs:
+
+* :class:`ColumnStats` / :class:`RelationStats` — per-relation cardinality,
+  average tuple size and per-column distinct counts / min-max bounds,
+  collected at publish time (``PierNetwork.load_relation`` accumulates them
+  as tuples enter the DHT).
+* A dedicated soft-state DHT namespace (``__pier_stats__``), living
+  alongside the catalog namespace: every publisher publishes its *partial*
+  statistics as its own item, and any planning node ``get``\\ s the partials
+  and merges them into a global view.  Like all PIER state, statistics age
+  out unless re-published.
+* :class:`StatsRegistry` — a node-local cache of relation statistics and
+  observed join selectivities, with DHT publication/fetch and the feedback
+  path the executor uses to record *observed* cardinalities at query finish,
+  so estimates converge toward truth over a query workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+#: DHT namespace holding published statistics (alongside ``__catalog__``).
+STATS_NAMESPACE = "__pier_stats__"
+#: Lifetime of published statistics entries; like catalog entries they are
+#: small and matter more than ordinary data, but unlike catalog entries they
+#: go stale as data churns, so they live shorter than the catalog.
+STATS_LIFETIME_S = 1800.0
+#: Approximate wire size of one published statistics item.
+STATS_ITEM_BYTES = 96
+#: Blend factor for feedback: how strongly a new observation moves the
+#: running estimate (exponential moving average).
+OBSERVATION_BLEND = 0.5
+
+
+def relation_stats_resource_id(name: str) -> str:
+    """ResourceID of a relation's statistics in ``__pier_stats__``."""
+    return f"rel:{name}"
+
+
+def join_observation_resource_id(signature: str) -> str:
+    """ResourceID of an observed-join-selectivity entry."""
+    return f"join:{signature}"
+
+
+def join_signature(left_namespace: str, left_column: str,
+                   right_namespace: str, right_column: str) -> str:
+    """Order-independent identity of an equi-join's key pair."""
+    sides = sorted([f"{left_namespace}.{left_column}",
+                    f"{right_namespace}.{right_column}"])
+    return "=".join(sides)
+
+
+# ---------------------------------------------------------------------- stats
+
+
+@dataclass
+class ColumnStats:
+    """Summary of one column's values (equi-join selectivity estimation)."""
+
+    distinct: int = 0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+
+    @classmethod
+    def from_values(cls, values: Iterable[Any]) -> "ColumnStats":
+        """Exact single-pass stats over one publisher's values."""
+        seen = set()
+        low: Optional[float] = None
+        high: Optional[float] = None
+        for value in values:
+            try:
+                seen.add(value)
+            except TypeError:
+                continue  # unhashable values carry no distinct information
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                low = value if low is None else min(low, value)
+                high = value if high is None else max(high, value)
+        return cls(distinct=len(seen), min_value=low, max_value=high)
+
+    @property
+    def width(self) -> Optional[float]:
+        """Width of the observed value range (numeric columns only)."""
+        if self.min_value is None or self.max_value is None:
+            return None
+        return float(self.max_value) - float(self.min_value)
+
+    def merge(self, other: "ColumnStats") -> "ColumnStats":
+        """Combine two partials (different publishers of one relation).
+
+        Distinct counts of disjoint partitions add; overlapping domains make
+        the sum an overestimate, so integer ranges cap it at the merged
+        domain width.
+        """
+        distinct = self.distinct + other.distinct
+        low = _opt_min(self.min_value, other.min_value)
+        high = _opt_max(self.max_value, other.max_value)
+        if (low is not None and high is not None
+                and float(low).is_integer() and float(high).is_integer()):
+            distinct = min(distinct, int(high) - int(low) + 1)
+        return ColumnStats(distinct=distinct, min_value=low, max_value=high)
+
+
+def _opt_min(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _opt_max(a: Optional[float], b: Optional[float]) -> Optional[float]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+@dataclass
+class RelationStats:
+    """Statistics for one relation (possibly a publisher's partial view)."""
+
+    name: str
+    cardinality: int = 0
+    total_bytes: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+    #: Virtual time the stats were (last) collected, for staleness decisions.
+    collected_at: float = 0.0
+
+    @classmethod
+    def from_rows(cls, relation, rows: List[dict],
+                  at: float = 0.0) -> "RelationStats":
+        """Collect exact statistics over one publisher's tuples."""
+        columns: Dict[str, ColumnStats] = {}
+        for column in relation.schema.column_names:
+            columns[column] = ColumnStats.from_values(
+                row.get(column) for row in rows
+            )
+        return cls(
+            name=relation.name,
+            cardinality=len(rows),
+            total_bytes=len(rows) * (relation.tuple_bytes or 0),
+            columns=columns,
+            collected_at=at,
+        )
+
+    @property
+    def avg_tuple_bytes(self) -> float:
+        """Average wire size of one tuple (0 when unknown)."""
+        if self.cardinality <= 0:
+            return 0.0
+        return self.total_bytes / self.cardinality
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        """Column stats by exact or unqualified name (``R.num2`` → ``num2``)."""
+        stats = self.columns.get(name)
+        if stats is None and "." in name:
+            stats = self.columns.get(name.split(".", 1)[1])
+        return stats
+
+    def distinct(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        """Distinct count of a column (``default`` when unknown)."""
+        stats = self.column(name)
+        if stats is None or stats.distinct <= 0:
+            return default
+        return stats.distinct
+
+    def merge(self, other: "RelationStats") -> "RelationStats":
+        """Combine two partial views of the same relation."""
+        columns = dict(self.columns)
+        for name, stats in other.columns.items():
+            existing = columns.get(name)
+            columns[name] = stats if existing is None else existing.merge(stats)
+        return RelationStats(
+            name=self.name,
+            cardinality=self.cardinality + other.cardinality,
+            total_bytes=self.total_bytes + other.total_bytes,
+            columns=columns,
+            collected_at=max(self.collected_at, other.collected_at),
+        )
+
+    def scaled(self, cardinality: int) -> "RelationStats":
+        """The same distribution re-scaled to an observed cardinality."""
+        return replace(self, cardinality=max(0, int(cardinality)))
+
+
+@dataclass
+class JoinObservation:
+    """Observed selectivity of one equi-join signature (feedback soft state).
+
+    ``selectivity`` is defined over the *selected* inputs of the observing
+    query — ``result_rows / (selected_left × selected_right)`` — so it folds
+    the join-key match rate and the residual predicate into one number the
+    optimizer can apply to its own input estimates.
+    """
+
+    signature: str
+    selectivity: float
+    result_rows: int
+    observed_at: float = 0.0
+
+
+# ------------------------------------------------------------------- registry
+
+
+class StatsRegistry:
+    """Node-local statistics cache with DHT publication and feedback.
+
+    Publish-time partials accumulate with :meth:`record_publish`; fetched
+    global views *replace* the local entry (:meth:`install`).  Observed join
+    selectivities blend in with an exponential moving average so one noisy
+    query does not whipsaw the planner.
+    """
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, RelationStats] = {}
+        self._joins: Dict[str, JoinObservation] = {}
+        #: Per-node observed scan cardinalities, kept apart from
+        #: :attr:`_relations`: a node's post-predicate selected-row count is
+        #: a *floor* on one partition's size, not the relation's
+        #: cardinality, and must never overwrite a real (published or
+        #: fetched) statistics entry.
+        self._scan_observations: Dict[str, RelationStats] = {}
+        #: Stable instanceIDs per published resource, so re-publication
+        #: renews the existing soft-state item instead of duplicating it.
+        self._published: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- local view
+
+    def record_publish(self, relation, rows: List[dict],
+                       at: float = 0.0) -> RelationStats:
+        """Accumulate publish-time statistics; returns this batch's partial."""
+        partial = RelationStats.from_rows(relation, rows, at=at)
+        self.merge_partial(partial)
+        return partial
+
+    def merge_partial(self, partial: RelationStats) -> None:
+        """Fold an already-collected partial into the local view."""
+        existing = self._relations.get(partial.name)
+        self._relations[partial.name] = (
+            partial if existing is None else existing.merge(partial)
+        )
+
+    def install(self, stats: RelationStats) -> None:
+        """Replace the local entry with a fetched/observed global view."""
+        self._relations[stats.name] = stats
+
+    def get(self, name: str) -> Optional[RelationStats]:
+        """Local statistics for ``name`` (or ``None``)."""
+        return self._relations.get(name)
+
+    def relation_names(self) -> List[str]:
+        """Names of relations with local statistics."""
+        return sorted(self._relations)
+
+    def forget(self, name: str) -> None:
+        """Drop the local entry for ``name`` (e.g. after a catalog drop)."""
+        self._relations.pop(name, None)
+        self._scan_observations.pop(name, None)
+        self._published.pop(relation_stats_resource_id(name), None)
+
+    # -------------------------------------------------------------- feedback
+
+    def observe_join(self, signature: str, selectivity: float,
+                     result_rows: int, at: float = 0.0) -> JoinObservation:
+        """Blend an observed join selectivity into the running estimate."""
+        selectivity = max(0.0, float(selectivity))
+        previous = self._joins.get(signature)
+        if previous is not None:
+            selectivity = (
+                (1.0 - OBSERVATION_BLEND) * previous.selectivity
+                + OBSERVATION_BLEND * selectivity
+            )
+        observation = JoinObservation(
+            signature=signature, selectivity=selectivity,
+            result_rows=result_rows, observed_at=at,
+        )
+        self._joins[signature] = observation
+        return observation
+
+    def install_join(self, observation: JoinObservation) -> None:
+        """Adopt a fetched observation (keep the fresher of the two)."""
+        existing = self._joins.get(observation.signature)
+        if existing is None or observation.observed_at >= existing.observed_at:
+            self._joins[observation.signature] = observation
+
+    def join_selectivity(self, signature: str) -> Optional[float]:
+        """Observed selectivity for a join signature (or ``None``)."""
+        observation = self._joins.get(signature)
+        return None if observation is None else observation.selectivity
+
+    def observe_scan(self, relation_name: str, selected_rows: int,
+                     at: float = 0.0) -> None:
+        """Record a node's observed selected-row count for a relation.
+
+        Participants call this at query teardown with what their local scan
+        actually produced.  The count is a post-predicate, single-partition
+        figure, so it is kept in a side table — never merged into real
+        relation statistics — and surfaces only through
+        :meth:`best_estimate` as a last-resort floor when no published
+        statistics are available.
+        """
+        existing = self._scan_observations.get(relation_name)
+        if existing is None or selected_rows > existing.cardinality:
+            self._scan_observations[relation_name] = RelationStats(
+                name=relation_name, cardinality=selected_rows,
+                collected_at=at,
+            )
+
+    def observed_scan(self, relation_name: str) -> Optional[RelationStats]:
+        """This node's largest observed scan for a relation (or ``None``)."""
+        return self._scan_observations.get(relation_name)
+
+    def best_estimate(self, name: str) -> Optional[RelationStats]:
+        """Best available statistics: real entries first, scan floors last."""
+        return self._relations.get(name) or self._scan_observations.get(name)
+
+    # ------------------------------------------------------- DHT publication
+
+    def publish(self, provider, names: Optional[List[str]] = None,
+                lifetime: float = STATS_LIFETIME_S) -> int:
+        """Publish local relation statistics into ``__pier_stats__``.
+
+        Each call re-uses a stable instanceID per relation, so periodic
+        re-publication *renews* the soft-state item instead of accumulating
+        duplicates.  Returns the number of entries published.
+        """
+        published = 0
+        for name in (names if names is not None else self.relation_names()):
+            stats = self._relations.get(name)
+            if stats is None:
+                continue
+            resource_id = relation_stats_resource_id(name)
+            instance_id = self._published.get(resource_id)
+            instance_id = provider.put(
+                STATS_NAMESPACE, resource_id, instance_id, stats,
+                lifetime=lifetime, item_bytes=STATS_ITEM_BYTES,
+            )
+            self._published[resource_id] = instance_id
+            published += 1
+        return published
+
+    def publish_join_observation(self, provider, signature: str,
+                                 lifetime: float = STATS_LIFETIME_S) -> bool:
+        """Publish one observed join selectivity into ``__pier_stats__``."""
+        observation = self._joins.get(signature)
+        if observation is None:
+            return False
+        resource_id = join_observation_resource_id(signature)
+        instance_id = provider.put(
+            STATS_NAMESPACE, resource_id, self._published.get(resource_id),
+            observation, lifetime=lifetime, item_bytes=STATS_ITEM_BYTES,
+        )
+        self._published[resource_id] = instance_id
+        return True
+
+    # ------------------------------------------------------------- DHT fetch
+
+    def fetch_relation(self, provider, name: str,
+                       callback: Callable[[Optional[RelationStats]], None]) -> None:
+        """Fetch and merge all published partials of one relation.
+
+        Every publisher's partial arrives as its own DHT item; the merged
+        global view replaces the local cache entry and is handed to the
+        callback (``None`` when nothing is published or everything expired).
+        """
+
+        def _on_items(items) -> None:
+            merged: Optional[RelationStats] = None
+            for item in items:
+                stats = item.value
+                if not isinstance(stats, RelationStats):
+                    continue
+                merged = stats if merged is None else merged.merge(stats)
+            if merged is not None:
+                self.install(merged)
+            callback(merged)
+
+        provider.get(STATS_NAMESPACE, relation_stats_resource_id(name), _on_items)
+
+    def fetch_join_observation(self, provider, signature: str,
+                               callback: Callable[[Optional[JoinObservation]], None]
+                               ) -> None:
+        """Fetch the freshest published observation of one join signature."""
+
+        def _on_items(items) -> None:
+            freshest: Optional[JoinObservation] = None
+            for item in items:
+                observation = item.value
+                if not isinstance(observation, JoinObservation):
+                    continue
+                if freshest is None or observation.observed_at > freshest.observed_at:
+                    freshest = observation
+            if freshest is not None:
+                self.install_join(freshest)
+            callback(freshest)
+
+        provider.get(STATS_NAMESPACE, join_observation_resource_id(signature),
+                     _on_items)

@@ -1,9 +1,11 @@
 """Closed-form models from the paper's Sections 3.1.1, 5.3 and 5.5.1.
 
-The paper backs several of its measurements with back-of-the-envelope
-analysis; implementing the same formulas lets the benchmarks print
-paper-analysis vs. simulation side by side and lets the tests cross-check the
-simulator against the theory:
+The overlay-routing and join-strategy decompositions that used to live here
+were promoted into the optimizer layer (:mod:`repro.core.costmodel`), where
+they now drive ``strategy=AUTO`` planning as well as the benchmarks'
+analysis columns.  This module re-exports them unchanged for back
+compatibility, and keeps the harness-only provisioning (Section 5.3) and
+churn-recall (Section 5.6) formulas:
 
 * CAN lookups take ``(d/4)·n^{1/d}`` overlay hops on average (Section 3.1.1),
   so lookup latency is that times the per-hop delay.
@@ -19,51 +21,34 @@ simulator against the theory:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+# Re-exported from the optimizer layer (moved there; kept importable here).
+from repro.core.costmodel import (  # noqa: F401
+    DEFAULT_HOP_LATENCY_S,
+    STRATEGY_COST_MODELS,
+    StrategyCostModel,
+    can_average_hops,
+    chord_average_hops,
+    lookup_latency,
+    multicast_depth,
+    multicast_latency,
+    predicted_strategy_times,
+)
 
-#: Paper baseline per-hop (pairwise) latency in the full-mesh topology.
-DEFAULT_HOP_LATENCY_S = 0.100
-
-
-def can_average_hops(num_nodes: int, dimensions: int = 2) -> float:
-    """Average CAN routing path length: ``(d/4) · n^{1/d}`` hops."""
-    if num_nodes <= 1:
-        return 0.0
-    return (dimensions / 4.0) * num_nodes ** (1.0 / dimensions)
-
-
-def chord_average_hops(num_nodes: int) -> float:
-    """Average Chord routing path length: ``(1/2) · log2 n`` hops."""
-    if num_nodes <= 1:
-        return 0.0
-    import math
-
-    return 0.5 * math.log2(num_nodes)
-
-
-def lookup_latency(num_nodes: int, dimensions: int = 2,
-                   hop_latency_s: float = DEFAULT_HOP_LATENCY_S) -> float:
-    """Average CAN lookup latency in seconds."""
-    return can_average_hops(num_nodes, dimensions) * hop_latency_s
-
-
-def multicast_depth(num_nodes: int, dimensions: int = 2) -> float:
-    """Approximate depth of the neighbour-flood multicast tree (overlay diameter).
-
-    For CAN the diameter is ``(d/2)·n^{1/d}`` hops; the paper reports the
-    multicast taking roughly 3 s to reach 1024 nodes at 100 ms per hop, which
-    this approximation matches to within a small constant.
-    """
-    if num_nodes <= 1:
-        return 0.0
-    return (dimensions / 2.0) * num_nodes ** (1.0 / dimensions)
-
-
-def multicast_latency(num_nodes: int, dimensions: int = 2,
-                      hop_latency_s: float = DEFAULT_HOP_LATENCY_S) -> float:
-    """Approximate time for a multicast to reach every node."""
-    return multicast_depth(num_nodes, dimensions) * hop_latency_s
+__all__ = [
+    "DEFAULT_HOP_LATENCY_S",
+    "can_average_hops",
+    "chord_average_hops",
+    "lookup_latency",
+    "multicast_depth",
+    "multicast_latency",
+    "StrategyCostModel",
+    "STRATEGY_COST_MODELS",
+    "predicted_strategy_times",
+    "selected_data_bytes",
+    "inbound_bytes_per_computation_node",
+    "required_downlink_mbps",
+    "expected_recall",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -100,53 +85,6 @@ def required_downlink_mbps(selected_bytes: float, num_nodes: int,
         selected_bytes, num_nodes, computation_nodes
     )
     return per_node * 8.0 / response_time_s / 1_000_000
-
-
-# ---------------------------------------------------------------------------
-# Section 5.5.1: infinite-bandwidth strategy decomposition
-
-
-@dataclass(frozen=True)
-class StrategyCostModel:
-    """Message-pattern decomposition of one join strategy.
-
-    ``multicasts`` counts namespace-wide disseminations, ``lookups`` counts
-    CAN lookups on the critical path, ``directs`` counts direct IP hops on
-    the critical path (including final result delivery).
-    """
-
-    name: str
-    multicasts: int
-    lookups: int
-    directs: int
-
-    def completion_time(self, num_nodes: int, dimensions: int = 2,
-                        hop_latency_s: float = DEFAULT_HOP_LATENCY_S) -> float:
-        """Predicted time to the last result tuple with unlimited bandwidth."""
-        return (
-            self.multicasts * multicast_latency(num_nodes, dimensions, hop_latency_s)
-            + self.lookups * lookup_latency(num_nodes, dimensions, hop_latency_s)
-            + self.directs * hop_latency_s
-        )
-
-
-#: The per-strategy decompositions given in Section 5.5.1.
-STRATEGY_COST_MODELS: Dict[str, StrategyCostModel] = {
-    "symmetric_hash": StrategyCostModel("symmetric_hash", multicasts=1, lookups=1, directs=2),
-    "fetch_matches": StrategyCostModel("fetch_matches", multicasts=1, lookups=1, directs=3),
-    "symmetric_semi_join": StrategyCostModel("symmetric_semi_join", multicasts=1, lookups=2, directs=4),
-    "bloom": StrategyCostModel("bloom", multicasts=2, lookups=2, directs=3),
-}
-
-
-def predicted_strategy_times(num_nodes: int, dimensions: int = 2,
-                             hop_latency_s: float = DEFAULT_HOP_LATENCY_S
-                             ) -> Dict[str, float]:
-    """Predicted time-to-last-tuple for all four strategies (paper Table 4)."""
-    return {
-        name: model.completion_time(num_nodes, dimensions, hop_latency_s)
-        for name, model in STRATEGY_COST_MODELS.items()
-    }
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,14 @@ from typing import Dict, List, Optional
 
 from repro.core.executor import QueryExecutor, QueryHandle
 from repro.core.query import QuerySpec
+from repro.core.stats import (
+    STATS_ITEM_BYTES,
+    STATS_LIFETIME_S,
+    STATS_NAMESPACE,
+    RelationStats,
+    StatsRegistry,
+    relation_stats_resource_id,
+)
 from repro.core.tuples import RelationDef
 from repro.dht.can import CanNetworkBuilder
 from repro.dht.chord import ChordNetworkBuilder
@@ -114,6 +122,12 @@ class PierNetwork:
                 node, provider, compiled_rows=config.compiled_rows
             )
         self.renewal_agents: Dict[int, RenewalAgent] = {}
+        #: Deployment-wide view of publish-time relation statistics (ground
+        #: truth of what :meth:`load_relation` loaded).  Planning nodes
+        #: normally fetch the per-publisher partials from the
+        #: ``__pier_stats__`` DHT namespace instead; this registry serves
+        #: experiments that want the exact global view without traffic.
+        self.relation_stats = StatsRegistry()
 
     # ----------------------------------------------------------- construction
 
@@ -163,7 +177,9 @@ class PierNetwork:
                       rows_by_node: Dict[int, List[dict]],
                       lifetime: float = 1e9,
                       fast: bool = True,
-                      track_renewal: bool = False) -> int:
+                      track_renewal: bool = False,
+                      publish_stats: bool = True,
+                      stats_lifetime: float = STATS_LIFETIME_S) -> int:
         """Publish a relation's tuples from their publishing nodes.
 
         ``fast=True`` places each tuple directly into its owner's storage
@@ -172,6 +188,14 @@ class PierNetwork:
         runs the simulation until it drains.  ``track_renewal`` additionally
         records every tuple with the publisher's renewal agent (create the
         agents first with :meth:`start_renewal_agents`).
+
+        With ``publish_stats`` (the default) each publisher also collects
+        statistics over its batch — cardinality, bytes, per-column distinct
+        counts and min/max bounds — records them in its executor's local
+        registry, and publishes the partial into the ``__pier_stats__``
+        namespace as soft state (directly at the owner under ``fast`` loads,
+        via a real ``put`` otherwise), so any planning node can fetch and
+        merge them for ``strategy=AUTO``.
 
         Returns the number of tuples loaded.
         """
@@ -182,6 +206,10 @@ class PierNetwork:
                     f"publisher address {publisher} outside the {self.num_nodes}-node network"
                 )
             provider = self.providers[publisher]
+            if publish_stats and rows:
+                self._publish_partial_stats(relation, publisher, rows,
+                                            fast=fast,
+                                            stats_lifetime=stats_lifetime)
             for row in rows:
                 resource_id = relation.resource_id(row)
                 if fast:
@@ -215,6 +243,34 @@ class PierNetwork:
         if not fast:
             self.network.run_until_idle()
         return loaded
+
+    def _publish_partial_stats(self, relation: RelationDef, publisher: int,
+                               rows: List[dict], fast: bool,
+                               stats_lifetime: float) -> None:
+        """Collect and publish one publisher's statistics partial."""
+        provider = self.providers[publisher]
+        partial = RelationStats.from_rows(relation, rows, at=self.now)
+        self.relation_stats.merge_partial(partial)
+        self.executors[publisher].stats.merge_partial(partial)
+        resource_id = relation_stats_resource_id(relation.name)
+        if fast:
+            owner = self.owner_of(STATS_NAMESPACE, resource_id)
+            self.providers[owner].storage.store(StoredItem(
+                namespace=STATS_NAMESPACE,
+                resource_id=resource_id,
+                instance_id=provider.next_instance_id(),
+                value=partial,
+                key=hash_key(STATS_NAMESPACE, resource_id),
+                expires_at=self.now + stats_lifetime,
+                stored_at=self.now,
+                publisher=publisher,
+                size_bytes=STATS_ITEM_BYTES,
+            ))
+        else:
+            provider.put(
+                STATS_NAMESPACE, resource_id, None, partial,
+                lifetime=stats_lifetime, item_bytes=STATS_ITEM_BYTES,
+            )
 
     # ------------------------------------------------------------ soft state
 

@@ -68,6 +68,13 @@ class WorkloadConfig:
     #: are small.  These sizes drive the Figure 4/5 traffic shapes.
     r_tuple_bytes: int = 1040
     s_tuple_bytes: int = 40
+    #: When positive, S tuples also carry a ``pad`` column of this wire size
+    #: (and the benchmark query projects it), making *both* join inputs fat.
+    #: This is the regime where the strategy rewrites genuinely trade off:
+    #: rewrites that ship only matching tuples win at low selectivity, while
+    #: full rehash/fetch plans win once most tuples match — the optimizer
+    #: benchmarks use it to exercise strategy flips.
+    s_pad_bytes: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -79,6 +86,12 @@ class WorkloadConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise WorkloadError(f"{name} must be in [0, 1], got {value}")
+        if self.s_pad_bytes > 0:
+            # Result tuples additionally carry S.pad, so their wire size
+            # (what the simulator bills the initiator's inbound link for,
+            # and what the cost model's result-stream term reads) grows
+            # accordingly.
+            self.result_tuple_bytes += self.s_pad_bytes
 
     @property
     def total_s_tuples(self) -> int:
@@ -104,11 +117,14 @@ class JoinWorkload:
             Column("num3", "float"),
             Column("pad", "str", size_bytes=1000),
         ])
-        self.s_schema = Schema([
+        s_columns = [
             Column("pkey", "int"),
             Column("num2", "float"),
             Column("num3", "float"),
-        ])
+        ]
+        if config.s_pad_bytes > 0:
+            s_columns.append(Column("pad", "str", size_bytes=config.s_pad_bytes))
+        self.s_schema = Schema(s_columns)
         self.r_relation = RelationDef(
             name="R", schema=self.r_schema, primary_key="pkey",
             tuple_bytes=config.r_tuple_bytes,
@@ -137,6 +153,8 @@ class JoinWorkload:
                 "num2": rng.uniform(0.0, VALUE_DOMAIN),
                 "num3": rng.uniform(0.0, VALUE_DOMAIN),
             }
+            if config.s_pad_bytes > 0:
+                row["pad"] = "y" * 8
             node = rng.randrange(config.num_nodes)
             self.s_by_node[node].append(row)
 
@@ -190,12 +208,15 @@ class JoinWorkload:
             "collection_window_s",
             max(4.0, 0.4 * self.config.num_nodes ** 0.5),
         )
+        output_columns = ["R.pkey", "S.pkey", "R.pad"]
+        if self.config.s_pad_bytes > 0:
+            output_columns.append("S.pad")
         return QuerySpec(
             tables=[
                 TableRef(self.r_relation, "R"),
                 TableRef(self.s_relation, "S"),
             ],
-            output_columns=["R.pkey", "S.pkey", "R.pad"],
+            output_columns=output_columns,
             local_predicates={
                 "R": Comparison(">", col("num2"), lit(c1)),
                 "S": Comparison(">", col("num2"), lit(c2)),
@@ -252,11 +273,14 @@ class JoinWorkload:
                 continue
             for s_row in s_index.get(row["num1"], ()):
                 if function(row["num3"], s_row["num3"]) > c3:
-                    results.append({
+                    result = {
                         "R.pkey": row["pkey"],
                         "S.pkey": s_row["pkey"],
                         "R.pad": row["pad"],
-                    })
+                    }
+                    if self.config.s_pad_bytes > 0:
+                        result["S.pad"] = s_row["pad"]
+                    results.append(result)
         return results
 
     def expected_result_count(self, s_selectivity: Optional[float] = None) -> int:

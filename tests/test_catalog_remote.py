@@ -1,0 +1,193 @@
+"""Remote catalog path: publish → fetch_remote round-trips, expiry,
+re-publication, and the drop/unpublish retraction added for the optimizer PR.
+
+``test_query_plan_catalog.py`` covers the local catalog; this file covers
+what crosses the DHT — including the statistics payloads that ride alongside
+catalog entries in the ``__pier_stats__`` namespace.
+"""
+
+from repro.core.catalog import CATALOG_NAMESPACE, Catalog
+from repro.core.stats import StatsRegistry
+from repro.core.tuples import Column, RelationDef, Schema
+from tests.conftest import build_pier
+
+
+def make_relation(name="shared", columns=("id", "value")):
+    return RelationDef(name, Schema([Column(c, "any") for c in columns]))
+
+
+def fetch(pier, catalog, node, name):
+    """Synchronous wrapper over Catalog.fetch_remote."""
+    results = []
+    catalog.fetch_remote(pier.provider(node), name, results.append)
+    pier.run_until_idle()
+    assert results, "fetch_remote callback never fired"
+    return results[0]
+
+
+# ----------------------------------------------------------- full round trip
+
+
+def test_publish_fetch_remote_round_trip_with_stats_payloads():
+    pier = build_pier(8)
+    relation = make_relation()
+
+    catalog = Catalog()
+    catalog.register(relation)
+    stats = StatsRegistry()
+    stats.record_publish(relation, [{"id": i, "value": i * 2.0}
+                                    for i in range(12)], at=pier.now)
+    assert catalog.publish(pier.provider(0)) == 1
+    assert stats.publish(pier.provider(0)) == 1
+    pier.run_until_idle()
+
+    # A remote node resolves both the definition and the statistics.
+    remote_catalog = Catalog()
+    fetched = fetch(pier, remote_catalog, 5, "shared")
+    assert fetched.name == "shared"
+    assert "shared" in remote_catalog  # cached locally
+
+    remote_stats = StatsRegistry()
+    got = []
+    remote_stats.fetch_relation(pier.provider(5), "shared", got.append)
+    pier.run_until_idle()
+    assert got[0] is not None
+    assert got[0].cardinality == 12
+    assert got[0].distinct("id") == 12
+
+
+def test_fetch_remote_missing_relation_returns_none():
+    pier = build_pier(8)
+    catalog = Catalog()
+    missing = []
+    catalog.fetch_remote(pier.provider(2), "absent", missing.append)
+    pier.run_until_idle()
+    assert missing == [None]
+
+
+# --------------------------------------------------------------------- expiry
+
+
+def test_catalog_and_stats_entries_expire_as_soft_state():
+    pier = build_pier(8)
+    relation = make_relation()
+    catalog = Catalog()
+    catalog.register(relation)
+    stats = StatsRegistry()
+    stats.record_publish(relation, [{"id": 1, "value": 2.0}], at=pier.now)
+    catalog.publish(pier.provider(0), lifetime=30.0)
+    stats.publish(pier.provider(0), lifetime=30.0)
+    pier.run_until_idle()
+
+    pier.run(until=pier.now + 31.0)
+
+    remote = Catalog()
+    gone = []
+    remote.fetch_remote(pier.provider(3), "shared", gone.append)
+    pier.run_until_idle()
+    assert gone == [None]
+
+    remote_stats = StatsRegistry()
+    stats_gone = []
+    remote_stats.fetch_relation(pier.provider(3), "shared", stats_gone.append)
+    pier.run_until_idle()
+    assert stats_gone == [None]
+
+
+def test_republication_renews_without_duplicates():
+    pier = build_pier(8)
+    relation = make_relation()
+    catalog = Catalog()
+    catalog.register(relation)
+
+    catalog.publish(pier.provider(0), lifetime=30.0)
+    pier.run_until_idle()
+    pier.run(until=pier.now + 20.0)
+    catalog.publish(pier.provider(0), lifetime=30.0)  # renewal
+    pier.run_until_idle()
+
+    # Past the first lifetime but inside the renewed one: still resolvable,
+    # and exactly one stored item (same instanceID, not a duplicate).
+    pier.run(until=pier.now + 15.0)
+    remote = Catalog()
+    assert fetch(pier, remote, 4, "shared").name == "shared"
+    total = sum(
+        1 for address in range(pier.num_nodes)
+        for _item in pier.provider(address).lscan(CATALOG_NAMESPACE)
+    )
+    assert total == 1
+
+
+# ----------------------------------------------------------- drop/unpublish
+
+
+def test_drop_without_provider_leaves_entry_live_until_expiry():
+    """The regression the unpublish path fixes: drop() alone leaves the
+    published definition fetchable by every other node."""
+    pier = build_pier(8)
+    catalog = Catalog()
+    catalog.register(make_relation())
+    catalog.publish(pier.provider(0))
+    pier.run_until_idle()
+
+    catalog.drop("shared")
+    assert "shared" not in catalog
+    remote = Catalog()
+    assert fetch(pier, remote, 3, "shared") is not None  # still live!
+
+
+def test_drop_with_provider_retracts_published_entry():
+    pier = build_pier(8)
+    catalog = Catalog()
+    catalog.register(make_relation())
+    catalog.publish(pier.provider(0))
+    pier.run_until_idle()
+
+    catalog.drop("shared", provider=pier.provider(0))
+    pier.run_until_idle()
+    pier.run(until=pier.now + 1.0)  # step past the retraction instant
+
+    remote = Catalog()
+    gone = []
+    remote.fetch_remote(pier.provider(3), "shared", gone.append)
+    pier.run_until_idle()
+    assert gone == [None]
+
+
+def test_unpublish_all_and_unknown_name():
+    pier = build_pier(8)
+    catalog = Catalog()
+    catalog.register(make_relation("a"))
+    catalog.register(make_relation("b"))
+    catalog.publish(pier.provider(0))
+    pier.run_until_idle()
+
+    assert catalog.unpublish(pier.provider(0), "never_published") == 0
+    assert catalog.unpublish(pier.provider(0)) == 2
+    pier.run_until_idle()
+    pier.run(until=pier.now + 1.0)
+
+    for name in ("a", "b"):
+        gone = []
+        Catalog().fetch_remote(pier.provider(2), name, gone.append)
+        pier.run_until_idle()
+        assert gone == [None]
+
+    # Idempotent: nothing left to retract.
+    assert catalog.unpublish(pier.provider(0)) == 0
+
+
+def test_unpublish_then_republish_resolves_again():
+    pier = build_pier(8)
+    catalog = Catalog()
+    catalog.register(make_relation())
+    catalog.publish(pier.provider(0))
+    pier.run_until_idle()
+    catalog.unpublish(pier.provider(0))
+    pier.run_until_idle()
+    catalog.publish(pier.provider(0))
+    pier.run_until_idle()
+    pier.run(until=pier.now + 1.0)
+
+    remote = Catalog()
+    assert fetch(pier, remote, 6, "shared").name == "shared"

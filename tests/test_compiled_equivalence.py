@@ -127,6 +127,8 @@ def _strategy_rows(strategy, dht, compiled, num_nodes=16):
     return sorted(tuple(sorted(row.items())) for row in result.handle.rows)
 
 
+# ``list(JoinStrategy)`` deliberately includes AUTO: cost-based plans must
+# be row-identical across the compiled and interpreted pipelines too.
 @pytest.mark.parametrize("dht", ["can", "chord"])
 @pytest.mark.parametrize("strategy", list(JoinStrategy))
 def test_all_join_strategies_identical_rows_both_pipelines(strategy, dht):
@@ -134,6 +136,23 @@ def test_all_join_strategies_identical_rows_both_pipelines(strategy, dht):
     interpreted = _strategy_rows(strategy, dht, compiled=False)
     assert compiled, "workload must produce rows for the comparison to bite"
     assert compiled == interpreted
+
+
+def test_auto_resolves_to_same_strategy_under_both_pipelines():
+    """AUTO's cost decision is pipeline-independent (same stats, same
+    topology), so A/B runs compare the same physical plan."""
+
+    def resolved(compiled):
+        workload = build_workload(16)
+        pier = build_pier(16, compiled_rows=compiled)
+        load_join_tables(pier, workload)
+        query = workload.make_query(strategy=JoinStrategy.AUTO)
+        run_query(pier, query, initiator=0)
+        return query.strategy
+
+    first, second = resolved(True), resolved(False)
+    assert first is second
+    assert first in JoinStrategy.physical()
 
 
 def test_unprojected_join_rows_identical_both_pipelines():

@@ -1,0 +1,212 @@
+"""Unit tests for the statistics layer (core/stats.py)."""
+
+import pytest
+
+from repro.core.stats import (
+    STATS_NAMESPACE,
+    ColumnStats,
+    JoinObservation,
+    RelationStats,
+    StatsRegistry,
+    join_signature,
+    relation_stats_resource_id,
+)
+from repro.core.tuples import Column, RelationDef, Schema
+from tests.conftest import build_pier
+
+
+def make_relation(name="T", tuple_bytes=100):
+    return RelationDef(
+        name,
+        Schema([Column("id", "int"), Column("value", "float"),
+                Column("label", "str")]),
+        tuple_bytes=tuple_bytes,
+    )
+
+
+def rows_for(ids, values=None):
+    return [
+        {"id": i, "value": (values[k] if values else float(i)), "label": f"x{i}"}
+        for k, i in enumerate(ids)
+    ]
+
+
+# -------------------------------------------------------------- column stats
+
+
+def test_column_stats_from_values_tracks_distinct_and_bounds():
+    stats = ColumnStats.from_values([3, 1, 4, 1, 5, 9, 2, 6])
+    assert stats.distinct == 7
+    assert stats.min_value == 1 and stats.max_value == 9
+    assert stats.width == 8
+
+
+def test_column_stats_ignores_unhashable_and_non_numeric():
+    stats = ColumnStats.from_values(["a", "b", "a", ["unhashable"]])
+    assert stats.distinct == 2
+    assert stats.min_value is None and stats.width is None
+
+
+def test_column_stats_merge_caps_distinct_at_integer_domain():
+    left = ColumnStats.from_values([0, 1, 2, 3])
+    right = ColumnStats.from_values([2, 3, 4, 5])
+    merged = left.merge(right)
+    # Sum (8) overcounts the overlap; the 0..5 integer domain caps it at 6.
+    assert merged.distinct == 6
+    assert merged.min_value == 0 and merged.max_value == 5
+
+
+# ------------------------------------------------------------ relation stats
+
+
+def test_relation_stats_from_rows():
+    relation = make_relation(tuple_bytes=50)
+    stats = RelationStats.from_rows(relation, rows_for(range(10)), at=3.0)
+    assert stats.cardinality == 10
+    assert stats.total_bytes == 500
+    assert stats.avg_tuple_bytes == 50
+    assert stats.distinct("id") == 10
+    assert stats.column("T.id") is stats.column("id")  # qualified fallback
+    assert stats.collected_at == 3.0
+
+
+def test_relation_stats_merge_combines_partials():
+    relation = make_relation()
+    first = RelationStats.from_rows(relation, rows_for(range(5)))
+    second = RelationStats.from_rows(relation, rows_for(range(5, 12)))
+    merged = first.merge(second)
+    assert merged.cardinality == 12
+    assert merged.distinct("id") == 12
+    assert merged.column("id").max_value == 11
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_record_publish_accumulates():
+    registry = StatsRegistry()
+    relation = make_relation()
+    registry.record_publish(relation, rows_for(range(4)))
+    registry.record_publish(relation, rows_for(range(4, 10)))
+    stats = registry.get("T")
+    assert stats.cardinality == 10
+    assert registry.relation_names() == ["T"]
+
+
+def test_registry_install_replaces_and_forget_drops():
+    registry = StatsRegistry()
+    relation = make_relation()
+    registry.record_publish(relation, rows_for(range(4)))
+    registry.install(RelationStats(name="T", cardinality=99))
+    assert registry.get("T").cardinality == 99
+    registry.forget("T")
+    assert registry.get("T") is None
+
+
+def test_registry_observe_join_blends():
+    registry = StatsRegistry()
+    sig = join_signature("R", "num1", "S", "pkey")
+    registry.observe_join(sig, 0.4, result_rows=10, at=1.0)
+    assert registry.join_selectivity(sig) == pytest.approx(0.4)
+    registry.observe_join(sig, 0.0, result_rows=0, at=2.0)
+    # EMA: one zero observation halves the estimate instead of erasing it.
+    assert registry.join_selectivity(sig) == pytest.approx(0.2)
+
+
+def test_registry_observe_scan_keeps_max_in_side_table():
+    registry = StatsRegistry()
+    registry.observe_scan("T", 10, at=1.0)
+    registry.observe_scan("T", 4, at=2.0)
+    # Scan observations are per-node, post-predicate floors: they never
+    # masquerade as real relation statistics...
+    assert registry.get("T") is None
+    assert registry.observed_scan("T").cardinality == 10
+    # ... but serve as the last-resort estimate when nothing better exists.
+    assert registry.best_estimate("T").cardinality == 10
+    registry.install(RelationStats(name="T", cardinality=500))
+    assert registry.best_estimate("T").cardinality == 500
+
+
+def test_join_signature_is_order_independent():
+    assert (join_signature("R", "a", "S", "b")
+            == join_signature("S", "b", "R", "a"))
+
+
+# ------------------------------------------------------- DHT publication path
+
+
+def test_registry_publish_and_fetch_merge_partials():
+    pier = build_pier(8)
+    relation = make_relation()
+
+    # Two publishers, disjoint partials, separate registries.
+    first = StatsRegistry()
+    first.record_publish(relation, rows_for(range(6)))
+    assert first.publish(pier.provider(1)) == 1
+
+    second = StatsRegistry()
+    second.record_publish(relation, rows_for(range(6, 10)))
+    assert second.publish(pier.provider(2)) == 1
+    pier.run_until_idle()
+
+    # A third node fetches and merges the global view.
+    planner = StatsRegistry()
+    fetched = []
+    planner.fetch_relation(pier.provider(5), "T", fetched.append)
+    pier.run_until_idle()
+    assert fetched and fetched[0].cardinality == 10
+    assert planner.get("T").distinct("id") == 10
+
+
+def test_registry_republish_renews_instead_of_duplicating():
+    pier = build_pier(8)
+    relation = make_relation()
+    registry = StatsRegistry()
+    registry.record_publish(relation, rows_for(range(3)))
+    registry.publish(pier.provider(0))
+    pier.run_until_idle()
+    registry.publish(pier.provider(0))  # renewal: same instance id
+    pier.run_until_idle()
+
+    owner = pier.owner_of(STATS_NAMESPACE, relation_stats_resource_id("T"))
+    items = list(pier.provider(owner).lscan(STATS_NAMESPACE))
+    assert len(items) == 1
+
+
+def test_join_observation_publish_and_fetch():
+    pier = build_pier(8)
+    sig = join_signature("R", "num1", "S", "pkey")
+    registry = StatsRegistry()
+    registry.observe_join(sig, 0.25, result_rows=40, at=pier.now)
+    assert registry.publish_join_observation(pier.provider(0), sig)
+    pier.run_until_idle()
+
+    remote = StatsRegistry()
+    fetched = []
+    remote.fetch_join_observation(pier.provider(3), sig, fetched.append)
+    pier.run_until_idle()
+    assert fetched and isinstance(fetched[0], JoinObservation)
+    assert remote.join_selectivity(sig) == pytest.approx(0.25)
+
+
+def test_load_relation_publishes_partials_into_stats_namespace():
+    from tests.conftest import build_workload, load_join_tables
+
+    pier = build_pier(8)
+    workload = build_workload(8)
+    load_join_tables(pier, workload)
+
+    # Ground-truth registry matches the loaded volumes.
+    assert pier.relation_stats.get("R").cardinality == workload.config.total_r_tuples
+    assert pier.relation_stats.get("S").cardinality == workload.config.total_s_tuples
+
+    # Any node can fetch and merge the published partials.
+    registry = StatsRegistry()
+    fetched = []
+    registry.fetch_relation(pier.provider(4), "R", fetched.append)
+    pier.run_until_idle()
+    assert fetched[0] is not None
+    assert fetched[0].cardinality == workload.config.total_r_tuples
+    assert fetched[0].avg_tuple_bytes == pytest.approx(
+        workload.config.r_tuple_bytes
+    )
