@@ -32,6 +32,7 @@ from bench_common import (
     is_smoke,
     node_axis,
     report,
+    row_key,
     run_benchmark_query,
     scaled,
 )

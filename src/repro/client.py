@@ -32,6 +32,7 @@ driving the network themselves and simply read the cursor's views.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
 from repro.core import costmodel
@@ -48,6 +49,52 @@ from repro.exceptions import PlanError
 #: Simulator events advanced per driving step; between steps the cursor
 #: checks arrivals against LIMIT / timeout, keeping cancellation prompt.
 DRIVE_CHUNK_EVENTS = 256
+
+
+@dataclass
+class CompletenessReport:
+    """How much of a query's distributed dataflow actually delivered.
+
+    PIER degrades gracefully under churn — lost fragments and unreachable
+    owners lower recall instead of blocking the sink — and this report is
+    how a caller tells a complete answer from a degraded one.  Counts are
+    aggregated across the whole (simulated) deployment for one query:
+
+    * ``gets_*`` — the query's DHT read requests (Fetch Matches probes,
+      semi-join full-tuple fetches): issued vs completed, failed after
+      retry exhaustion / unroutable keys, and still pending.
+    * ``fragments_lost`` — temporary fragments (rehash tuples, Bloom
+      filters, aggregation partials) bounced off dead destinations.
+    * ``degraded_ops`` — operators that ran a failure fallback (e.g. a
+      Bloom gate rehashing unfiltered because its summary never arrived).
+    * ``nodes_with_state`` — executors still holding per-query state at
+      snapshot time (after teardown settles this must reach zero).
+    """
+
+    query_id: int
+    result_rows: int = 0
+    gets_issued: int = 0
+    gets_completed: int = 0
+    gets_failed: int = 0
+    gets_pending: int = 0
+    fragments_lost: int = 0
+    degraded_ops: int = 0
+    nodes_with_state: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """Whether no delivery loss was observed anywhere for this query."""
+        return (self.gets_failed == 0 and self.gets_pending == 0
+                and self.fragments_lost == 0 and self.degraded_ops == 0)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        status = "complete" if self.complete else "degraded"
+        return (f"query {self.query_id} {status}: rows={self.result_rows} "
+                f"gets {self.gets_completed}/{self.gets_issued} completed "
+                f"({self.gets_failed} failed, {self.gets_pending} pending), "
+                f"fragments lost {self.fragments_lost}, "
+                f"degraded ops {self.degraded_ops}")
 
 
 class ResultCursor:
@@ -85,6 +132,7 @@ class ResultCursor:
         self._closed = False
         self.cancelled = False
         self.timed_out = False
+        self._final_completeness: Optional[CompletenessReport] = None
 
     # ----------------------------------------------------------------- views
 
@@ -130,6 +178,44 @@ class ResultCursor:
         """The physical operator graph this query runs as."""
         return "\n".join(build_opgraph(self.query).describe())
 
+    def completeness(self) -> CompletenessReport:
+        """Delivery accounting for this query across the whole deployment.
+
+        While the query is open this is a live snapshot; the final snapshot
+        is captured at teardown time (just before the per-node accounting is
+        released) and returned from then on.  ``report.complete`` is the
+        "no loss observed anywhere" signal; under churn expect ``False``
+        with recall degraded proportionally.
+        """
+        if self._final_completeness is not None:
+            return self._final_completeness
+        return self._collect_completeness()
+
+    def _collect_completeness(self) -> CompletenessReport:
+        report = CompletenessReport(query_id=self.query_id,
+                                    result_rows=self.handle.result_count)
+        providers = getattr(self._pier, "providers", None)
+        executors = getattr(self._pier, "executors", None)
+        if not providers:  # stubbed deployments: report what the handle knows
+            return report
+        temp_namespaces = build_opgraph(self.query).temp_namespaces()
+        for provider in providers.values():
+            scope = provider.scope_report(self.query_id)
+            report.gets_issued += scope["issued"]
+            report.gets_completed += scope["completed"]
+            report.gets_failed += scope["failed"]
+            report.gets_pending += scope["pending"]
+            for namespace in temp_namespaces:
+                report.fragments_lost += (
+                    provider.put_bounces_by_namespace.get(namespace, 0)
+                )
+        for executor in (executors or {}).values():
+            state = executor._states.get(self.query_id)
+            if state is not None:
+                report.nodes_with_state += 1
+                report.degraded_ops += state.degraded_ops
+        return report
+
     # -------------------------------------------------------------- lifecycle
 
     def cancel(self) -> None:
@@ -163,6 +249,9 @@ class ResultCursor:
 
     def _teardown(self) -> None:
         self._closed = True
+        # Snapshot delivery accounting before teardown releases it node by
+        # node as the flood arrives.
+        self._final_completeness = self._collect_completeness()
         # Observed-cardinality feedback is only trustworthy when the result
         # stream ran to completion; a LIMIT/timeout/cancel truncation would
         # publish an artificially low join selectivity.

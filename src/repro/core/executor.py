@@ -173,6 +173,9 @@ class _NodeQueryState:
     timers: List[Any] = field(default_factory=list)
     #: Temporary namespaces this node may hold fragments of.
     temp_namespaces: Set[str] = field(default_factory=set)
+    #: Operators that ran a failure-degraded path on this node (e.g. a Bloom
+    #: gate that rehashed unfiltered because its summary never arrived).
+    degraded_ops: int = 0
     #: Observed per-alias selected-row counts of this node's scan chains
     #: (runtime-cardinality feedback folded into the stats registry at
     #: teardown).
@@ -186,7 +189,8 @@ class QueryExecutor:
     PROTOCOL_RESULT = "pier.result"
 
     def __init__(self, node: Node, provider: Provider,
-                 compiled_rows: bool = True):
+                 compiled_rows: bool = True,
+                 failure_aware: bool = False):
         self.node = node
         self.provider = provider
         #: Whether queries run the compiled row pipeline (slotted tuples and
@@ -194,6 +198,11 @@ class QueryExecutor:
         #: path.  All nodes of a deployment must agree: rehashed fragments
         #: are exchanged in the representation the pipeline works on.
         self.compiled_rows = compiled_rows
+        #: Churn deployments set this: operators arm failure fallbacks (the
+        #: Bloom gate's unfiltered rehash) so lost control messages degrade
+        #: recall instead of blocking the sink.  Off by default — the timers
+        #: it arms would perturb the seed deployments' event timelines.
+        self.failure_aware = failure_aware
         #: Node-local statistics cache: publish-time partials, fetched
         #: global views, and the observed cardinalities / join selectivities
         #: recorded by the feedback path below.
@@ -353,6 +362,15 @@ class QueryExecutor:
             temp_namespaces=set(graph.temp_namespaces()),
         )
         self._states[query.query_id] = state
+        if self.failure_aware:
+            # A node cut off from the teardown flood by churn must not hold
+            # this state forever when no later query triggers the lazy
+            # expiry: a one-shot reaper fires at the state's own soft-state
+            # deadline (cancelled with the rest of the timers on a normal
+            # teardown).
+            handle = self.node.schedule(query.temp_lifetime_s + 1.0,
+                                        self._expire_stale_states)
+            state.timers.append(handle)
         self._instantiate(query, state)
 
     # ------------------------------------------------------- graph interpreter
@@ -646,6 +664,7 @@ class QueryExecutor:
                     namespace, key_of(row),
                     lambda items, row=row: self._on_fetch_matches_reply(
                         query, scan_alias, fetch_alias, row, items, fetch_artifact),
+                    scope=query.query_id,
                 )
             return
         rows_by_value: Dict[Any, List[dict]] = {}
@@ -661,7 +680,8 @@ class QueryExecutor:
                 )
 
         # One get per distinct join value, grouped by owner on the wire.
-        self.provider.get_batch(namespace, list(rows_by_value), _on_fetch)
+        self.provider.get_batch(namespace, list(rows_by_value), _on_fetch,
+                                scope=query.query_id)
 
     def _on_fetch_matches_reply(self, query: QuerySpec, scan_alias: str,
                                 fetch_alias: str, scan_row: dict,
@@ -738,9 +758,11 @@ class QueryExecutor:
             left_key = left_projection[left_relation.resource_id_column]
             right_key = right_projection[right_relation.resource_id_column]
         self.provider.get(left_relation.namespace, left_key,
-                          lambda items: _collect("left", items))
+                          lambda items: _collect("left", items),
+                          scope=query.query_id)
         self.provider.get(right_relation.namespace, right_key,
-                          lambda items: _collect("right", items))
+                          lambda items: _collect("right", items),
+                          scope=query.query_id)
 
     def _finish_semi_join_pair(self, query: QuerySpec,
                                pending: _PendingSemiJoinFetch) -> None:
@@ -774,7 +796,14 @@ class QueryExecutor:
 
     def _setup_multicast_gate(self, query: QuerySpec, state: _NodeQueryState,
                               node: OpNode) -> None:
-        """Subscribe a Bloom gate to its summary-distribution namespace."""
+        """Subscribe a Bloom gate to its summary-distribution namespace.
+
+        Failure-aware executors additionally arm a fallback timer: if the
+        OR-ed summary never arrives (its collector died, or the
+        distribution flood was cut), the gated side rehashes *unfiltered*
+        after ``fallback_delay_s`` — the join degrades to symmetric hash
+        for that side instead of contributing nothing to the sink.
+        """
         distribution_namespace = node.params["distribution_namespace"]
 
         def _handler(namespace, resource_id, item, origin, node=node) -> None:
@@ -782,6 +811,23 @@ class QueryExecutor:
 
         self.provider.multicast_service.subscribe(distribution_namespace, _handler)
         state.multicast_subscriptions.append((distribution_namespace, _handler))
+        if self.failure_aware:
+            handle = self.node.schedule(node.params["fallback_delay_s"],
+                                        self._bloom_gate_fallback, query, node)
+            state.timers.append(handle)
+
+    def _bloom_gate_fallback(self, query: QuerySpec, gate_node: OpNode) -> None:
+        """Rehash the gated side unfiltered when its summary never arrived."""
+        state = self._states.get(query.query_id)
+        if state is None:
+            return
+        marker = (gate_node.params["rehash_alias"], "bloom-rehash")
+        if marker in state.rehash_done_for:
+            return  # the summary made it after all
+        state.rehash_done_for.add(marker)
+        state.degraded_ops += 1
+        scan_node = state.graph.local_downstream(gate_node)
+        self._run_source_chain(query, state, scan_node, bloom_filter=None)
 
     def _run_bloom_build(self, query: QuerySpec, state: _NodeQueryState,
                          node: OpNode, rows: List[dict]) -> None:
@@ -976,7 +1022,27 @@ class QueryExecutor:
         for namespace in state.temp_namespaces:
             self.provider.purge_namespace(namespace)
         state.pending_fetches.clear()
+        # Drop this query's in-flight gets so a cancelled dataflow stops
+        # accumulating (and firing) reply callbacks.
+        self.provider.cancel_pending(query_id)
         return True
+
+    def handle_node_failure(self) -> int:
+        """Model this node's process death: release every query's state.
+
+        Called by the failure wiring when this node is failed.  The resumed
+        identity comes back with no dataflows — probes, subscriptions,
+        timers, pending fetches and initiator handles all die with the
+        process — which also means a teardown flood the node misses while
+        dead has nothing left to leak.  Returns the number of queries torn
+        down.
+        """
+        torn_down = 0
+        for query_id in list(self._states):
+            if self._teardown_local(query_id):
+                torn_down += 1
+        self._handles.clear()
+        return torn_down
 
     def _expire_stale_states(self) -> None:
         """Lazily reap per-query state whose soft-state lifetime has elapsed.

@@ -36,11 +36,13 @@ LocationMapCallback = Callable[[], None]
 class BatchLookupState:
     """Origin-side bookkeeping for one in-flight batched lookup."""
 
-    __slots__ = ("callback", "remaining")
+    __slots__ = ("callback", "remaining", "on_unresolved")
 
-    def __init__(self, callback: BatchLookupCallback, remaining: int):
+    def __init__(self, callback: BatchLookupCallback, remaining: int,
+                 on_unresolved: Optional[Callable[[List[int]], None]] = None):
         self.callback = callback
         self.remaining = remaining
+        self.on_unresolved = on_unresolved
 
 
 class RoutingLayer(ABC):
@@ -87,7 +89,9 @@ class RoutingLayer(ABC):
     # ---------------------------------------------------------- batch lookup
 
     def lookup_batch(self, keys: Iterable[int], callback: BatchLookupCallback,
-                     payload_bytes: int = ROUTE_HOP_BYTES) -> None:
+                     payload_bytes: int = ROUTE_HOP_BYTES,
+                     on_unresolved: Optional[Callable[[List[int]], None]] = None,
+                     ) -> None:
         """Resolve many keys at once, grouping resolutions by owner.
 
         ``callback(owner, keys)`` fires once per distinct owner with every
@@ -100,7 +104,9 @@ class RoutingLayer(ABC):
         grouping for the caller.  Keys that become unroutable (dead
         neighbours, hop limit) are reported back as *unresolved* so the
         origin's bookkeeping is freed; their items are simply lost, exactly
-        like a dropped scalar lookup (soft-state semantics).
+        like a dropped scalar lookup (soft-state semantics).  Callers that
+        must not wait on lost keys (the Provider's failure-aware get lane)
+        pass ``on_unresolved`` to be told which keys were dropped.
         """
         unique = list(dict.fromkeys(keys))
         if not unique:
@@ -118,7 +124,7 @@ class RoutingLayer(ABC):
             return
         request_id = next(self._lookup_ids)
         self._pending_batch_lookups[request_id] = BatchLookupState(
-            callback, len(entries)
+            callback, len(entries), on_unresolved=on_unresolved
         )
         payload = {
             "entries": entries,
@@ -238,8 +244,11 @@ class RoutingLayer(ABC):
             del self._pending_batch_lookups[payload["request_id"]]
         owner = payload["owner"]
         if owner is None:
-            # Unresolved keys: lost in routing (soft-state semantics) —
-            # only the bookkeeping is released, no callback fires.
+            # Unresolved keys: lost in routing (soft-state semantics) — the
+            # bookkeeping is released, and callers that asked to be told
+            # (failure-aware gets) learn which keys were dropped.
+            if pending.on_unresolved is not None:
+                pending.on_unresolved(keys)
             return
         self.lookup_hops_observed.extend([payload.get("hops", 0)] * len(keys))
         pending.callback(owner, keys)

@@ -40,7 +40,13 @@ class MulticastService:
         self._seen: set[Tuple[int, int]] = set()
         self._handlers: Dict[str, List[MulticastHandler]] = {}
         self._wildcard_handlers: List[MulticastHandler] = []
+        #: Envelope ids this node already re-flooded after a bounce (one
+        #: failure-repair wave per envelope per node keeps floods bounded).
+        self._reflooded: set[Tuple[int, int]] = set()
+        #: Flood messages bounced off dead neighbours (ops/completeness).
+        self.flood_bounces = 0
         node.register_handler(self.PROTOCOL, self._on_flood)
+        node.register_bounce_handler(self.PROTOCOL, self._on_flood_bounce)
         node.services["dht.multicast"] = self
 
     # ----------------------------------------------------------- subscription
@@ -124,6 +130,25 @@ class MulticastService:
         self._seen.add(multicast_id)
         self._deliver(envelope)
         self._flood(envelope, payload_bytes, exclude=message.src)
+
+    def _on_flood_bounce(self, node: Node, message) -> None:
+        """A flood hop hit a dead neighbour: re-flood once around it.
+
+        Query dissemination and teardown must not silently lose a whole
+        subtree to one dead forwarder.  The repair wave re-sends the
+        envelope to this node's *current* neighbour set (the routing layer
+        drops detected-dead neighbours from it), excluding the bounced
+        destination; receivers that already saw the envelope suppress it,
+        so the extra cost is bounded to one wave per envelope per node.
+        """
+        self.flood_bounces += 1
+        envelope = message.payload["envelope"]
+        multicast_id = envelope["id"]
+        if multicast_id in self._reflooded:
+            return
+        self._reflooded.add(multicast_id)
+        self._flood(envelope, message.payload["payload_bytes"],
+                    exclude=message.dst)
 
     # --------------------------------------------------------------- deliver
 

@@ -30,6 +30,28 @@ its own ``newData`` callback and every ``get_batch`` key receives its own
 reply callback.  Constructing the Provider with ``batching=False`` makes the
 batch calls fall back to per-item scalar calls (the seed message pattern),
 which is what the benchmarks use as their baseline.
+
+Failure semantics
+-----------------
+The DHT gives soft-state guarantees only, but a *request* must never hang
+forever: every ``get``/``get_batch`` is tracked as a pending entry until its
+reply (or local resolution) arrives.  Three mechanisms bound that wait:
+
+* **transport bounces** — a request sent to a dead owner is reported back by
+  the network one round trip later; the Provider retries it once through a
+  fresh overlay lookup (the routing layer routes around detected failures)
+  and, when retries are exhausted, completes the request with an *empty*
+  item list so the caller degrades instead of blocking;
+* **per-request timeouts** — with ``request_timeout_s`` set (churn
+  deployments), a timer armed at issue time catches the cases bounces
+  cannot see (lookups that dead-end in a partitioned overlay);
+* **query-scoped cancellation** — callers may tag requests with a ``scope``
+  (the executor uses the query id) and sweep everything still pending with
+  :meth:`Provider.cancel_pending` at query teardown.
+
+Per-scope delivery accounting (issued / completed / failed / cancelled and
+the put fragments bounced off dead nodes) backs the client's query
+completeness report.
 """
 
 from __future__ import annotations
@@ -51,6 +73,9 @@ DEFAULT_LIFETIME_S = 300.0
 DEFAULT_ITEM_BYTES = 100
 #: How often each node sweeps expired soft state out of its storage manager.
 DEFAULT_SWEEP_PERIOD_S = 5.0
+#: How long a cancelled scope is remembered, so requests whose overlay
+#: lookups were still resolving at cancellation time are suppressed too.
+CANCELLED_SCOPE_TTL_S = 600.0
 
 #: Callback type for ``get``: receives a list of :class:`DHTItem`.
 GetCallback = Callable[[List["DHTItem"]], None]
@@ -76,6 +101,32 @@ class DHTItem:
     size_bytes: int = DEFAULT_ITEM_BYTES
 
 
+@dataclass
+class _PendingGet:
+    """Origin-side bookkeeping for one in-flight ``get``/``get_batch`` request.
+
+    ``resource_ids`` holds one id for the scalar lane; the batch lane keeps
+    every id of the (destination-grouped) sub-request so a bounce or timeout
+    can retry — or fail — all of them together.  ``attempts_left`` bounds
+    retry-after-reroute; ``timer`` is the optional per-request timeout.
+    """
+
+    callback: Callable
+    namespace: str
+    resource_ids: Tuple[Any, ...]
+    scope: Any = None
+    attempts_left: int = 0
+    request_bytes: int = 60
+    batch: bool = False
+    timer: Any = None
+
+
+def _new_scope_counters() -> Dict[str, int]:
+    # issued == completed + failed + pending at any instant; a cancel sweep
+    # releases the whole entry rather than keeping a tally for a dead query.
+    return {"issued": 0, "completed": 0, "failed": 0}
+
+
 class Provider:
     """Per-node Provider instance."""
 
@@ -90,17 +141,31 @@ class Provider:
     def __init__(self, node: Node, routing: RoutingLayer,
                  sweep_period_s: float = DEFAULT_SWEEP_PERIOD_S,
                  instance_seed: int = 0,
-                 batching: bool = True):
+                 batching: bool = True,
+                 request_timeout_s: Optional[float] = None,
+                 request_retries: int = 1):
         self.node = node
         self.routing = routing
         self.storage = StorageManager()
         self.batching = batching
+        #: Per-request timeout for ``get``/``get_batch`` (``None`` disables
+        #: the timer lane; transport bounces still bound dead-owner waits).
+        self.request_timeout_s = request_timeout_s
+        #: Retries after a reroute before a request completes empty.
+        self.request_retries = max(0, request_retries)
         self.multicast_service = MulticastService(node, routing)
         self._new_data_callbacks: Dict[str, List[NewDataCallback]] = {}
-        self._pending_gets: Dict[int, GetCallback] = {}
-        self._pending_batch_gets: Dict[int, BatchGetCallback] = {}
+        self._pending_gets: Dict[int, _PendingGet] = {}
+        self._pending_batch_gets: Dict[int, _PendingGet] = {}
         self._get_ids = itertools.count(1)
         self._instance_ids = itertools.count(instance_seed * 1_000_003 + 1)
+        #: Per-scope (query) get accounting: issued/completed/failed/cancelled.
+        self._scope_counters: Dict[Any, Dict[str, int]] = {}
+        #: scope -> cancellation time; suppresses requests whose lookups were
+        #: mid-flight when the scope was cancelled (TTL-pruned).
+        self._cancelled_scopes: Dict[Any, float] = {}
+        #: Put fragments bounced off dead destinations, per namespace.
+        self.put_bounces_by_namespace: Dict[str, int] = {}
         node.services[self.SERVICE_NAME] = self
 
         node.register_handler(self.PROTOCOL_PUT, self._on_put)
@@ -110,6 +175,12 @@ class Provider:
         node.register_handler(self.PROTOCOL_GET_BATCH, self._on_get_batch)
         node.register_handler(self.PROTOCOL_GET_BATCH_REPLY,
                               self._on_get_batch_reply)
+        node.register_bounce_handler(self.PROTOCOL_GET, self._on_get_bounce)
+        node.register_bounce_handler(self.PROTOCOL_GET_BATCH,
+                                     self._on_get_batch_bounce)
+        node.register_bounce_handler(self.PROTOCOL_PUT, self._on_put_bounce)
+        node.register_bounce_handler(self.PROTOCOL_PUT_BATCH,
+                                     self._on_put_batch_bounce)
 
         # Item migration hooks used by the routing layer on join/leave.
         routing.extract_items = self.storage.extract
@@ -296,8 +367,25 @@ class Provider:
             batch = [request for key in keys for request in requests_by_key[key]]
             self._send_put_requests(owner, batch)
 
-        self.routing.lookup_batch(list(requests_by_key), _deliver)
+        self.routing.lookup_batch(
+            list(requests_by_key), _deliver,
+            on_unresolved=lambda keys: self._count_unroutable_puts(
+                namespace, requests_by_key, keys),
+        )
         return instance_ids
+
+    def _count_unroutable_puts(self, namespace: str,
+                               requests_by_key: Dict[int, List[dict]],
+                               keys: List[int]) -> None:
+        """Batched put keys the overlay could not route: fragments are lost.
+
+        Soft-state semantics (renewal repairs them), but the loss must show
+        up in the namespace's counter or a query's completeness report would
+        read ``complete`` while rehash fragments silently vanished.
+        """
+        lost = sum(len(requests_by_key[key]) for key in keys)
+        if lost:
+            self._record_put_bounce(namespace, lost)
 
     def put_direct_batch(self, target: int, namespace: str,
                          entries: Sequence[PutEntry],
@@ -333,7 +421,11 @@ class Provider:
             batch = [request for key in keys for request in requests_by_key[key]]
             self._send_put_requests(target, batch)
 
-        self.routing.lookup_batch(list(requests_by_key), _deliver)
+        self.routing.lookup_batch(
+            list(requests_by_key), _deliver,
+            on_unresolved=lambda keys: self._count_unroutable_puts(
+                namespace, requests_by_key, keys),
+        )
         return instance_ids
 
     def _route_put_request(self, request: dict, target: Optional[int] = None,
@@ -369,19 +461,64 @@ class Provider:
         for request in message.payload["requests"]:
             self._store_request(request)
 
+    def _record_put_bounce(self, namespace: str, count: int) -> None:
+        self.put_bounces_by_namespace[namespace] = (
+            self.put_bounces_by_namespace.get(namespace, 0) + count
+        )
+
+    def _on_put_bounce(self, node: Node, message) -> None:
+        """A put's destination was dead: the fragment is lost (soft state).
+
+        Publishers do not retry — renewal is the repair mechanism — but the
+        loss is counted per namespace so query completeness reports can
+        attribute lost temporary fragments to their query.
+        """
+        self._record_put_bounce(message.payload["namespace"], 1)
+
+    def _on_put_batch_bounce(self, node: Node, message) -> None:
+        requests = message.payload["requests"]
+        by_namespace: Dict[str, int] = {}
+        for request in requests:
+            by_namespace[request["namespace"]] = (
+                by_namespace.get(request["namespace"], 0) + 1
+            )
+        for namespace, count in by_namespace.items():
+            self._record_put_bounce(namespace, count)
+
     # ------------------------------------------------------------------- get
 
     def get(self, namespace: str, resource_id: Any, callback: GetCallback,
-            request_bytes: int = 60) -> None:
-        """Fetch all items with the given namespace/resourceID (``get``)."""
+            request_bytes: int = 60, scope: Any = None,
+            _attempts_left: Optional[int] = None) -> None:
+        """Fetch all items with the given namespace/resourceID (``get``).
+
+        ``scope`` tags the request for :meth:`cancel_pending` and the
+        per-scope delivery accounting (queries pass their query id).  The
+        request is tracked from issue time: a bounce off a dead owner (or,
+        with ``request_timeout_s`` set, a timeout) retries it through a
+        fresh lookup up to ``request_retries`` times and then completes it
+        with an empty item list — callers degrade, they never hang.
+        """
         key = hash_key(namespace, resource_id)
+        request_id = next(self._get_ids)
+        entry = _PendingGet(
+            callback=callback, namespace=namespace, resource_ids=(resource_id,),
+            scope=scope, request_bytes=request_bytes,
+            attempts_left=(self.request_retries if _attempts_left is None
+                           else _attempts_left),
+        )
+        self._pending_gets[request_id] = entry
+        if _attempts_left is None:
+            self._count(scope, "issued")
+        self._arm_timeout(entry, request_id)
 
         def _ask(owner: int) -> None:
+            if self._pending_gets.get(request_id) is not entry:
+                return  # cancelled / failed while the lookup was in flight
             if owner == self.node.address:
-                callback(self.get_local(namespace, resource_id))
+                self._complete_get(request_id,
+                                   self.get_local(namespace, resource_id))
                 return
-            request_id = next(self._get_ids)
-            self._pending_gets[request_id] = callback
             self.node.send(
                 owner,
                 self.PROTOCOL_GET,
@@ -416,20 +553,145 @@ class Provider:
 
     def _on_get_reply(self, node: Node, message) -> None:
         payload = message.payload
-        callback = self._pending_gets.pop(payload["request_id"], None)
-        if callback is not None:
-            callback(payload["items"])
+        self._complete_get(payload["request_id"], payload["items"])
+
+    # ------------------------------------------------- pending-get lifecycle
+
+    def _count(self, scope: Any, event: str, amount: int = 1) -> None:
+        """Bump one per-scope accounting counter (no-op for unscoped calls)."""
+        if scope is None:
+            return
+        counters = self._scope_counters.get(scope)
+        if counters is None:
+            counters = self._scope_counters[scope] = _new_scope_counters()
+        counters[event] += amount
+
+    def _arm_timeout(self, entry: _PendingGet, request_id: int) -> None:
+        if self.request_timeout_s is None:
+            return
+        entry.timer = self.node.schedule(
+            self.request_timeout_s, self._on_get_timeout, request_id, entry.batch
+        )
+
+    @staticmethod
+    def _disarm(entry: _PendingGet) -> None:
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+
+    def _complete_get(self, request_id: int, items: List[DHTItem]) -> None:
+        entry = self._pending_gets.pop(request_id, None)
+        if entry is None:
+            return  # already failed/cancelled; drop the late reply
+        self._disarm(entry)
+        self._count(entry.scope, "completed")
+        entry.callback(items)
+
+    def _on_get_timeout(self, request_id: int, batch: bool) -> None:
+        pending = self._pending_batch_gets if batch else self._pending_gets
+        if request_id in pending:
+            self._retry_or_fail(request_id, batch=batch)
+
+    def _on_get_bounce(self, node: Node, message) -> None:
+        self._retry_or_fail(message.payload["request_id"], batch=False)
+
+    def _on_get_batch_bounce(self, node: Node, message) -> None:
+        self._retry_or_fail(message.payload["request_id"], batch=True)
+
+    def _retry_or_fail(self, request_id: int, batch: bool) -> None:
+        """A request's destination is unreachable: reroute or complete empty."""
+        pending = self._pending_batch_gets if batch else self._pending_gets
+        entry = pending.pop(request_id, None)
+        if entry is None:
+            return
+        self._disarm(entry)
+        if entry.attempts_left > 0:
+            # Retry through a fresh overlay resolution: the routing layer has
+            # marked the bounced hop dead, so the new lookup reroutes.
+            if batch:
+                self.get_batch(entry.namespace, list(entry.resource_ids),
+                               entry.callback, request_bytes=entry.request_bytes,
+                               scope=entry.scope,
+                               _attempts_left=entry.attempts_left - 1)
+            else:
+                self.get(entry.namespace, entry.resource_ids[0], entry.callback,
+                         request_bytes=entry.request_bytes, scope=entry.scope,
+                         _attempts_left=entry.attempts_left - 1)
+            return
+        self._fail_entry(entry)
+
+    def _fail_entry(self, entry: _PendingGet) -> None:
+        """Complete an unreachable request with empty results (degrade)."""
+        self._count(entry.scope, "failed", len(entry.resource_ids))
+        if entry.batch:
+            for resource_id in entry.resource_ids:
+                entry.callback(resource_id, [])
+        else:
+            entry.callback([])
+
+    def cancel_pending(self, scope: Any) -> int:
+        """Drop every pending get tagged with ``scope`` without calling back.
+
+        Swept at query teardown so cancelled queries do not accumulate
+        callbacks (or fire them into dead dataflows).  Also releases the
+        scope's accounting entry; returns the number of requests dropped.
+        """
+        dropped = 0
+        for pending in (self._pending_gets, self._pending_batch_gets):
+            stale = [request_id for request_id, entry in pending.items()
+                     if entry.scope == scope]
+            for request_id in stale:
+                entry = pending.pop(request_id)
+                self._disarm(entry)
+                dropped += len(entry.resource_ids)
+        self._scope_counters.pop(scope, None)
+        now = self.now
+        self._cancelled_scopes[scope] = now
+        if len(self._cancelled_scopes) > 64:
+            self._cancelled_scopes = {
+                cancelled: when
+                for cancelled, when in self._cancelled_scopes.items()
+                if now - when <= CANCELLED_SCOPE_TTL_S
+            }
+        return dropped
+
+    def _scope_cancelled(self, scope: Any) -> bool:
+        return scope is not None and scope in self._cancelled_scopes
+
+    def pending_get_count(self, scope: Any = None) -> int:
+        """Number of in-flight get requests (optionally for one scope)."""
+        total = 0
+        for pending in (self._pending_gets, self._pending_batch_gets):
+            for entry in pending.values():
+                if scope is None or entry.scope == scope:
+                    total += len(entry.resource_ids)
+        return total
+
+    def scope_report(self, scope: Any) -> Dict[str, int]:
+        """Accounting snapshot for one scope, including the pending count."""
+        report = dict(self._scope_counters.get(scope) or _new_scope_counters())
+        report["pending"] = self.pending_get_count(scope)
+        return report
 
     # ------------------------------------------------------------- get_batch
 
     def get_batch(self, namespace: str, resource_ids: Sequence[Any],
-                  callback: BatchGetCallback, request_bytes: int = 60) -> None:
+                  callback: BatchGetCallback, request_bytes: int = 60,
+                  scope: Any = None,
+                  _attempts_left: Optional[int] = None) -> None:
         """Fetch the items of many resourceIDs with one request per owner.
 
         ``callback(resource_id, items)`` fires once per distinct resourceID.
         IDs owned by the same node share a single ``prov.get_batch`` request
         and a single reply; locally-owned IDs resolve synchronously.  With
         ``batching=False`` this degrades to one scalar :meth:`get` per ID.
+
+        Like :meth:`get`, every sub-request is tracked until its reply:
+        bounces and timeouts retry it (``request_retries`` times) and then
+        complete each of its ids with an empty item list, and ids whose
+        routed lookups dead-end are failed as soon as the routing layer
+        reports them unresolved.  ``scope`` tags the requests for
+        :meth:`cancel_pending` and the delivery accounting.
         """
         unique = list(dict.fromkeys(resource_ids))
         if not unique:
@@ -438,21 +700,36 @@ class Provider:
             for resource_id in unique:
                 self.get(namespace, resource_id,
                          lambda items, rid=resource_id: callback(rid, items),
-                         request_bytes=request_bytes)
+                         request_bytes=request_bytes, scope=scope,
+                         _attempts_left=_attempts_left)
             return
+        attempts = (self.request_retries if _attempts_left is None
+                    else _attempts_left)
+        if _attempts_left is None:
+            self._count(scope, "issued", len(unique))
         rids_by_key: Dict[int, List[Any]] = {}
         for resource_id in unique:
             key = hash_key(namespace, resource_id)
             rids_by_key.setdefault(key, []).append(resource_id)
 
         def _ask(owner: int, keys: List[int]) -> None:
+            if self._scope_cancelled(scope):
+                return  # cancelled while the batch lookup was resolving
             rids = [rid for key in keys for rid in rids_by_key[key]]
             if owner == self.node.address:
                 for rid in rids:
+                    self._count(scope, "completed")
                     callback(rid, self.get_local(namespace, rid))
                 return
             request_id = next(self._get_ids)
-            self._pending_batch_gets[request_id] = callback
+            entry = _PendingGet(
+                callback=callback, namespace=namespace,
+                resource_ids=tuple(rids), scope=scope,
+                attempts_left=attempts, request_bytes=request_bytes,
+                batch=True,
+            )
+            self._pending_batch_gets[request_id] = entry
+            self._arm_timeout(entry, request_id)
             self.node.send(
                 owner,
                 self.PROTOCOL_GET_BATCH,
@@ -465,7 +742,21 @@ class Provider:
                 payload_bytes=request_bytes + 8 * (len(rids) - 1),
             )
 
-        self.routing.lookup_batch(list(rids_by_key), _ask)
+        def _unresolved(keys: List[int]) -> None:
+            if self._scope_cancelled(scope):
+                return
+            # The overlay could not route these keys at all (dead-end): fail
+            # their ids immediately instead of leaving the caller waiting.
+            stale = _PendingGet(
+                callback=callback, namespace=namespace,
+                resource_ids=tuple(rid for key in keys
+                                   for rid in rids_by_key[key]),
+                scope=scope, batch=True,
+            )
+            self._fail_entry(stale)
+
+        self.routing.lookup_batch(list(rids_by_key), _ask,
+                                  on_unresolved=_unresolved)
 
     def _on_get_batch(self, node: Node, message) -> None:
         payload = message.payload
@@ -486,11 +777,13 @@ class Provider:
 
     def _on_get_batch_reply(self, node: Node, message) -> None:
         payload = message.payload
-        callback = self._pending_batch_gets.pop(payload["request_id"], None)
-        if callback is None:
+        entry = self._pending_batch_gets.pop(payload["request_id"], None)
+        if entry is None:
             return
+        self._disarm(entry)
+        self._count(entry.scope, "completed", len(payload["results"]))
         for result in payload["results"]:
-            callback(result["resource_id"], result["items"])
+            entry.callback(result["resource_id"], result["items"])
 
     # ------------------------------------------------------------- local ops
 
@@ -527,8 +820,10 @@ class Provider:
         """Drop every locally stored item of ``namespace``; returns the count.
 
         Used by query teardown to release temporary rehash/filter/partial
-        state immediately instead of waiting for soft-state expiry.
+        state immediately instead of waiting for soft-state expiry.  The
+        namespace's put-bounce counter is released with it.
         """
+        self.put_bounces_by_namespace.pop(namespace, None)
         return self.storage.purge_namespace(namespace)
 
     # -------------------------------------------------------------- multicast
@@ -582,7 +877,19 @@ class Provider:
         return RenewalAgent(provider=self, refresh_period=refresh_period)
 
     def handle_node_failure(self) -> int:
-        """Drop all locally stored soft state (called when this node fails)."""
+        """Model this node's process death (called when the node fails).
+
+        All locally stored soft state is dropped and every in-flight get this
+        node originated is forgotten (their timers cancelled) — a failed
+        process has no callbacks to deliver to.  Returns the number of stored
+        items dropped.
+        """
+        for pending in (self._pending_gets, self._pending_batch_gets):
+            for entry in pending.values():
+                self._disarm(entry)
+            pending.clear()
+        self._scope_counters.clear()
+        self.put_bounces_by_namespace.clear()
         return self.storage.clear()
 
     def _view(self, item: StoredItem) -> DHTItem:

@@ -77,6 +77,22 @@ class RenewalAgent:
         """Stop renewing an item (the publisher no longer cares about it)."""
         self.records.pop((namespace, resource_id, instance_id), None)
 
+    def untrack_namespace(self, namespace: str) -> int:
+        """Stop renewing every tracked item of one namespace.
+
+        Failure wiring uses this for statistics partials: a failed
+        publisher's data died with it, so its ``__pier_stats__`` entry must
+        age out rather than be resurrected by the resumed identity's renewal
+        loop.  (Data-tuple records are deliberately kept — the paper's
+        Figure 6 dynamic is that lost tuples reappear when their publishers
+        next renew them.)  Returns the number of records dropped.
+        """
+        stale = [key for key, record in self.records.items()
+                 if record.namespace == namespace]
+        for key in stale:
+            del self.records[key]
+        return len(stale)
+
     def tracked_count(self, namespace: Optional[str] = None) -> int:
         """Number of items being kept alive (optionally for one namespace)."""
         if namespace is None:

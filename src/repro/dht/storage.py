@@ -237,6 +237,23 @@ class StorageManager:
             self._remove_key(key)
         return len(keys)
 
+    def purge_publisher(self, namespace: str, publisher: int) -> int:
+        """Drop every item of ``namespace`` published by ``publisher``.
+
+        Failure-aware soft-state purge: when a node's failure is detected,
+        state it published into control namespaces (statistics, catalog
+        partials) describes data that died with it — purging immediately
+        stops a dead publisher's partials from poisoning planning decisions
+        until their lifetime happens to elapse.  Returns the number removed.
+        """
+        keys = [
+            key for key in self._by_namespace.get(namespace, ())
+            if self._items[key].publisher == publisher
+        ]
+        for key in keys:
+            self._remove_key(key)
+        return len(keys)
+
     # ------------------------------------------------------------- soft state
 
     def expire_items(self, now: float) -> int:

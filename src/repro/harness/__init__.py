@@ -1,6 +1,7 @@
 """Experiment harness: simulated PIER deployments and the paper's experiments."""
 
 from repro.harness.experiment import (
+    ChurnConfig,
     PierNetwork,
     QueryRunResult,
     SimulationConfig,
@@ -11,6 +12,7 @@ from repro.harness import analytical
 from repro.harness.reporting import format_table, format_series
 
 __all__ = [
+    "ChurnConfig",
     "SimulationConfig",
     "PierNetwork",
     "QueryRunResult",

@@ -16,7 +16,7 @@ rows for that query — the quantities every benchmark reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.executor import QueryExecutor, QueryHandle
 from repro.core.query import QuerySpec
@@ -39,6 +39,7 @@ from repro.exceptions import ExperimentError
 from repro.metrics.latency import LatencySummary, summarize_latency
 from repro.metrics.traffic import TrafficBreakdown, breakdown_traffic
 from repro.net.cluster import ClusterTopology
+from repro.net.failures import DEFAULT_DETECTION_DELAY_S, FailureInjector
 from repro.net.network import Network
 from repro.net.topology import FullMeshTopology, MBPS_10
 from repro.net.transit_stub import TransitStubTopology
@@ -47,6 +48,44 @@ from repro.net.transit_stub import TransitStubTopology
 TOPOLOGIES = ("full_mesh", "transit_stub", "cluster")
 #: DHT names accepted by :class:`SimulationConfig`.
 DHTS = ("can", "chord")
+
+
+@dataclass
+class ChurnConfig:
+    """Continuous node-failure injection alongside real query execution.
+
+    Attaching one to :class:`SimulationConfig` makes the deployment
+    failure-aware end to end: Providers run the per-request timeout/retry
+    lanes, executors arm failure fallbacks and the periodic stale-state
+    sweep, and a :class:`repro.net.failures.FailureInjector` (exposed as
+    ``PierNetwork.failure_injector``) fails nodes at the configured rate
+    while queries run — the setup of the paper's Figure 6 recall
+    experiment, but through the real PierClient → opgraph → executor path.
+    """
+
+    #: Mean failure arrival rate; 0 wires everything up but injects nothing
+    #: (tests drive ``failure_injector.fail_now`` by hand).
+    failure_rate_per_min: float = 0.0
+    #: Keep-alive detection delay (the paper assumes 15 s).
+    detection_delay_s: float = DEFAULT_DETECTION_DELAY_S
+    #: Downtime before the identity resumes empty (defaults to detection).
+    downtime_s: Optional[float] = None
+    seed: int = 0
+    #: Addresses never chosen as victims (the query initiator site).
+    protect: Tuple[int, ...] = (0,)
+    #: Per-request get timeout; bounds waits that bounces cannot see.
+    request_timeout_s: Optional[float] = 10.0
+    #: Retries-after-reroute before a get completes empty.
+    request_retries: int = 1
+    #: Purge ``__pier_stats__`` partials of a failed publisher from live
+    #: owners at detection time (instead of waiting for expiry).
+    purge_dead_publisher_stats: bool = True
+    #: Start injecting as soon as the deployment is built.
+    auto_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.failure_rate_per_min < 0:
+            raise ExperimentError("churn failure rate must be non-negative")
 
 
 @dataclass
@@ -81,6 +120,10 @@ class SimulationConfig:
     #: is deployment-wide because rehashed fragments travel in the
     #: representation the pipeline works on.
     compiled_rows: bool = True
+    #: Churn: run a failure injector alongside real queries and switch the
+    #: whole stack into its failure-aware mode.  ``None`` (the default)
+    #: reproduces the seed's failure-free behaviour exactly.
+    churn: Optional[ChurnConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -111,17 +154,38 @@ class PierNetwork:
         self.routings = self.builder.build_stabilized(self.network)
         self.providers: Dict[int, Provider] = {}
         self.executors: Dict[int, QueryExecutor] = {}
+        churn = config.churn
         for address in range(config.num_nodes):
             node = self.network.node(address)
-            provider = Provider(node, self.routings[address],
-                                sweep_period_s=config.sweep_period_s,
-                                instance_seed=address,
-                                batching=config.batching)
+            provider = Provider(
+                node, self.routings[address],
+                sweep_period_s=config.sweep_period_s,
+                instance_seed=address,
+                batching=config.batching,
+                request_timeout_s=(churn.request_timeout_s
+                                   if churn is not None else None),
+                request_retries=(churn.request_retries
+                                 if churn is not None else 1),
+            )
             self.providers[address] = provider
             self.executors[address] = QueryExecutor(
-                node, provider, compiled_rows=config.compiled_rows
+                node, provider, compiled_rows=config.compiled_rows,
+                failure_aware=churn is not None,
             )
         self.renewal_agents: Dict[int, RenewalAgent] = {}
+        #: Failure injector driving churn (``None`` without a ChurnConfig).
+        self.failure_injector: Optional[FailureInjector] = None
+        if churn is not None:
+            self.failure_injector = self.attach_failure_injector(
+                failures_per_minute=churn.failure_rate_per_min,
+                detection_delay_s=churn.detection_delay_s,
+                downtime_s=churn.downtime_s,
+                seed=churn.seed,
+                protect=frozenset(churn.protect),
+                purge_dead_publisher_stats=churn.purge_dead_publisher_stats,
+            )
+            if churn.auto_start:
+                self.failure_injector.start()
         #: Deployment-wide view of publish-time relation statistics (ground
         #: truth of what :meth:`load_relation` loaded).  Planning nodes
         #: normally fetch the per-publisher partials from the
@@ -206,10 +270,24 @@ class PierNetwork:
                     f"publisher address {publisher} outside the {self.num_nodes}-node network"
                 )
             provider = self.providers[publisher]
+            agent = self.renewal_agents.get(publisher)
+            if track_renewal and agent is None and rows:
+                raise ExperimentError(
+                    "track_renewal=True requires start_renewal_agents() first"
+                )
             if publish_stats and rows:
-                self._publish_partial_stats(relation, publisher, rows,
-                                            fast=fast,
-                                            stats_lifetime=stats_lifetime)
+                stats_rid, stats_instance, partial = self._publish_partial_stats(
+                    relation, publisher, rows, fast=fast,
+                    stats_lifetime=stats_lifetime,
+                )
+                if track_renewal:
+                    # Statistics are soft state like everything else: the
+                    # publisher renews its partial (stable instanceID) so it
+                    # survives owner churn — and the failure wiring untracks
+                    # it when the publisher itself dies, letting stale
+                    # cardinalities age out instead of being resurrected.
+                    agent.track(STATS_NAMESPACE, stats_rid, stats_instance,
+                                partial, stats_lifetime, STATS_ITEM_BYTES)
             for row in rows:
                 resource_id = relation.resource_id(row)
                 if fast:
@@ -232,11 +310,6 @@ class PierNetwork:
                         lifetime=lifetime, item_bytes=relation.tuple_bytes,
                     )
                 if track_renewal:
-                    agent = self.renewal_agents.get(publisher)
-                    if agent is None:
-                        raise ExperimentError(
-                            "track_renewal=True requires start_renewal_agents() first"
-                        )
                     agent.track(relation.namespace, resource_id, instance_id,
                                 row, lifetime, relation.tuple_bytes)
                 loaded += 1
@@ -246,8 +319,12 @@ class PierNetwork:
 
     def _publish_partial_stats(self, relation: RelationDef, publisher: int,
                                rows: List[dict], fast: bool,
-                               stats_lifetime: float) -> None:
-        """Collect and publish one publisher's statistics partial."""
+                               stats_lifetime: float):
+        """Collect and publish one publisher's statistics partial.
+
+        Returns ``(resource_id, instance_id, partial)`` so callers can hand
+        the published item to the publisher's renewal agent.
+        """
         provider = self.providers[publisher]
         partial = RelationStats.from_rows(relation, rows, at=self.now)
         self.relation_stats.merge_partial(partial)
@@ -255,10 +332,11 @@ class PierNetwork:
         resource_id = relation_stats_resource_id(relation.name)
         if fast:
             owner = self.owner_of(STATS_NAMESPACE, resource_id)
+            instance_id = provider.next_instance_id()
             self.providers[owner].storage.store(StoredItem(
                 namespace=STATS_NAMESPACE,
                 resource_id=resource_id,
-                instance_id=provider.next_instance_id(),
+                instance_id=instance_id,
                 value=partial,
                 key=hash_key(STATS_NAMESPACE, resource_id),
                 expires_at=self.now + stats_lifetime,
@@ -267,10 +345,11 @@ class PierNetwork:
                 size_bytes=STATS_ITEM_BYTES,
             ))
         else:
-            provider.put(
+            instance_id = provider.put(
                 STATS_NAMESPACE, resource_id, None, partial,
                 lifetime=stats_lifetime, item_bytes=STATS_ITEM_BYTES,
             )
+        return resource_id, instance_id, partial
 
     # ------------------------------------------------------------ soft state
 
@@ -281,6 +360,82 @@ class PierNetwork:
             agent.start()
             self.renewal_agents[address] = agent
         return self.renewal_agents
+
+    # ----------------------------------------------------------------- churn
+
+    def attach_failure_injector(self, failures_per_minute: float,
+                                detection_delay_s: float = DEFAULT_DETECTION_DELAY_S,
+                                downtime_s: Optional[float] = None,
+                                seed: int = 0,
+                                protect: frozenset = frozenset(),
+                                purge_dead_publisher_stats: bool = True,
+                                ) -> FailureInjector:
+        """Build a failure injector whose callbacks keep the stack consistent.
+
+        * **on_fail** — the victim's Provider drops its stored soft state and
+          in-flight gets, its executor releases every query's local dataflow
+          (process death), and its renewal agent stops renewing statistics
+          partials — the data they described died with the node — while
+          data-tuple renewals resume on recovery (the Figure 6 repair
+          dynamic).
+        * **on_detect** — every live routing layer marks the victim dead (so
+          lookups reroute), and live owners purge the victim's
+          ``__pier_stats__`` partials so the optimizer stops planning from a
+          dead publisher's cardinalities.
+        * **on_recover** — routing marks the identity alive again; it
+          resumes with empty storage.
+
+        The injector is returned un-started; call ``start()`` (ChurnConfig
+        deployments do this automatically when ``auto_start`` is set).
+        """
+
+        def _on_fail(address: int) -> None:
+            self.providers[address].handle_node_failure()
+            self.executors[address].handle_node_failure()
+            agent = self.renewal_agents.get(address)
+            if agent is not None:
+                agent.untrack_namespace(STATS_NAMESPACE)
+
+        def _on_detect(address: int) -> None:
+            for routing in self.routings.values():
+                if hasattr(routing, "mark_neighbor_dead"):
+                    routing.mark_neighbor_dead(address)
+            if purge_dead_publisher_stats:
+                for other, provider in self.providers.items():
+                    if other != address and self.network.node(other).alive:
+                        provider.storage.purge_publisher(STATS_NAMESPACE,
+                                                         address)
+
+        def _on_recover(address: int) -> None:
+            for routing in self.routings.values():
+                if hasattr(routing, "mark_neighbor_alive"):
+                    routing.mark_neighbor_alive(address)
+
+        return FailureInjector(
+            network=self.network,
+            failures_per_minute=failures_per_minute,
+            detection_delay_s=detection_delay_s,
+            downtime_s=downtime_s,
+            seed=seed,
+            on_fail=_on_fail,
+            on_detect=_on_detect,
+            on_recover=_on_recover,
+            protect=protect,
+        )
+
+    def reachable_snapshot(self, dilation_s: Optional[float] = None) -> frozenset:
+        """Dilated-reachable address snapshot at the current virtual time.
+
+        The reference-set helper for recall-under-churn experiments; without
+        an injector every address is reachable.
+        """
+        if self.failure_injector is None:
+            return frozenset(range(self.num_nodes))
+        if dilation_s is None:
+            dilation_s = self.failure_injector.detection_delay_s
+        return self.failure_injector.reachable_addresses(
+            self.now, dilation_s=dilation_s
+        )
 
     # ---------------------------------------------------------------- clients
 

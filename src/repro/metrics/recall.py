@@ -9,17 +9,44 @@ reachable nodes at query time (Section 3.3.1).
 Result rows are dicts; comparison is by value (rows are reduced to hashable
 canonical forms), and duplicates are handled as multisets so a strategy that
 returns the same pair twice does not earn extra recall.
+
+Values are compared by *canonical value*, not by ``repr``: numerically equal
+rows (``1`` vs ``1.0``, as produced by different pipelines or a golden-set
+generator) must match, while type-distinct values that merely print alike
+(``1`` vs ``"1"``, ``True`` vs ``1``) must not.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+def _canonical_value(value: Any) -> Tuple:
+    """Type-aware, hashable canonical form of one cell value.
+
+    Numbers share the ``"num"`` bucket (Python guarantees ``1 == 1.0`` and
+    ``hash(1) == hash(1.0)``, so int/float representations of the same
+    quantity collapse without any lossy conversion); booleans and strings
+    keep their own buckets so ``True``/``1`` and ``"1"``/``1`` stay
+    distinct; unhashable values fall back to their ``repr``.
+    """
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", value)
+    try:
+        hash(value)
+    except TypeError:
+        return ("repr", repr(value))
+    return ("val", value)
 
 
 def _canonical(row: Dict) -> Tuple:
     """Hashable, order-independent form of a result row."""
-    return tuple(sorted((str(key), repr(value)) for key, value in row.items()))
+    return tuple(sorted(
+        (str(key), _canonical_value(value)) for key, value in row.items()
+    ))
 
 
 def _multiset(rows: Iterable[Dict]) -> Counter:

@@ -155,3 +155,25 @@ class FailureInjector:
     def failures_in(self, start: float, end: float) -> int:
         """Number of failures injected in the half-open interval [start, end)."""
         return sum(1 for event in self.events if start <= event.failed_at < end)
+
+    def reachable_addresses(self, at: float,
+                            dilation_s: float = 0.0) -> frozenset:
+        """The dilated-reachable snapshot at time ``at`` (paper §3.3.1).
+
+        The paper judges answer quality against the result the query *would*
+        produce over data published by nodes reachable at query time, with a
+        dilation window absorbing the ambiguity of failures near the
+        snapshot instant.  A node is excluded when any of its recorded down
+        intervals ``[failed_at, recovered_at)`` overlaps
+        ``[at, at + dilation_s]`` — i.e. it was (or went) unreachable while
+        the query could still legitimately have read its data.
+        """
+        window_end = at + max(0.0, dilation_s)
+        down = {
+            event.address
+            for event in self.events
+            if event.failed_at <= window_end and event.recovered_at > at
+        }
+        return frozenset(
+            address for address in self.network.nodes if address not in down
+        )

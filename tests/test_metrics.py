@@ -105,6 +105,31 @@ def test_recall_is_insensitive_to_key_order():
     assert recall(actual, expected) == 1.0
 
 
+def test_recall_matches_numerically_equal_rows():
+    """Regression: ``1`` vs ``1.0`` compared by repr never matched, so a
+    pipeline emitting floats was under-reported against an int golden set."""
+    actual = [{"a": 1, "b": 2.5}]
+    expected = [{"a": 1.0, "b": 2.5}]
+    assert recall(actual, expected) == 1.0
+    assert precision(actual, expected) == 1.0
+    observed_recall, observed_precision = recall_and_precision(
+        [{"a": 0.0}], [{"a": 0}]
+    )
+    assert observed_recall == 1.0
+    assert observed_precision == 1.0
+
+
+def test_recall_value_comparison_is_type_aware():
+    # Values that merely print alike must stay distinct...
+    assert recall([{"a": "1"}], [{"a": 1}]) == 0.0
+    assert recall([{"a": True}], [{"a": 1}]) == 0.0
+    assert recall([{"a": "None"}], [{"a": None}]) == 0.0
+    # ... while genuinely equal typed values keep matching.
+    assert recall([{"a": True}], [{"a": True}]) == 1.0
+    assert recall([{"a": None}], [{"a": None}]) == 1.0
+    assert recall([{"a": "x"}], [{"a": "x"}]) == 1.0
+
+
 # ------------------------------------------------------------------- traffic
 
 
