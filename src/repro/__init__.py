@@ -53,7 +53,17 @@ from repro.core import (
 from repro.core.tuples import Column, RelationDef, Schema
 from repro.dht import CanNetworkBuilder, CanRouting, ChordNetworkBuilder, ChordRouting, Provider
 from repro.harness import PierNetwork, QueryRunResult, SimulationConfig, run_query
-from repro.net import FullMeshTopology, Network, Simulator, TransitStubTopology, ClusterTopology
+from repro.net import (
+    ClusterTopology,
+    FullMeshTopology,
+    Network,
+    RealTransport,
+    SimulatedNetwork,
+    Simulator,
+    TransitStubTopology,
+    Transport,
+)
+from repro.remote import RemotePier
 from repro.workloads import JoinWorkload, NetworkMonitoringWorkload, WorkloadConfig
 
 __version__ = "1.0.0"
@@ -98,6 +108,10 @@ __all__ = [
     # net
     "Simulator",
     "Network",
+    "SimulatedNetwork",
+    "Transport",
+    "RealTransport",
+    "RemotePier",
     "FullMeshTopology",
     "TransitStubTopology",
     "ClusterTopology",

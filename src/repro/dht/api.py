@@ -256,6 +256,27 @@ class RoutingLayer(ABC):
     def mark_neighbor_dead(self, address: int) -> None:
         """Record a detected neighbour failure (no-op by default)."""
 
+    def rebind(self, node: Node) -> "RoutingLayer":
+        """Move this routing layer (tables intact) onto another node.
+
+        The real-transport bootstrap builds the full stabilised overlay
+        locally over throwaway stand-in nodes — both network builders are
+        deterministic functions of the address list — and then rebinds the
+        one routing layer that belongs to this process onto its real,
+        socket-backed node.  Every protocol handler (and bounce handler) the
+        layer registered on the stand-in is re-registered on the new node,
+        so the move is invisible to the layer itself.
+        """
+        old = self.node
+        self.node = node
+        node.services[self.SERVICE_NAME] = self
+        if old is not None and old is not node:
+            for protocol, handler in old._handlers.items():
+                node.replace_handler(protocol, handler)
+            for protocol, handler in old._bounce_handlers.items():
+                node.register_bounce_handler(protocol, handler)
+        return self
+
     @abstractmethod
     def owns(self, key: int) -> bool:
         """Whether this node is currently responsible for ``key``."""

@@ -7,6 +7,7 @@ from repro.harness.experiment import (
     SimulationConfig,
     run_query,
 )
+from repro.harness.overlay import OwnerLocator, build_local_routing
 from repro.harness.softstate import SoftStateResult, run_soft_state_experiment
 from repro.harness import analytical
 from repro.harness.reporting import format_table, format_series
@@ -19,6 +20,8 @@ __all__ = [
     "run_query",
     "run_soft_state_experiment",
     "SoftStateResult",
+    "OwnerLocator",
+    "build_local_routing",
     "analytical",
     "format_table",
     "format_series",

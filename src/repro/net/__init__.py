@@ -19,7 +19,9 @@ base.  This package provides that substrate for the reproduction:
 from repro.net.simulator import Simulator
 from repro.net.message import Message
 from repro.net.node import Node
-from repro.net.network import Network
+from repro.net.network import Network, SimulatedNetwork
+from repro.net.real import RealTransport, WallClockTimers
+from repro.net.transport import TimerService, Transport
 from repro.net.topology import FullMeshTopology, Topology
 from repro.net.transit_stub import TransitStubTopology
 from repro.net.cluster import ClusterTopology
@@ -31,6 +33,11 @@ __all__ = [
     "Message",
     "Node",
     "Network",
+    "SimulatedNetwork",
+    "Transport",
+    "TimerService",
+    "RealTransport",
+    "WallClockTimers",
     "Topology",
     "FullMeshTopology",
     "TransitStubTopology",

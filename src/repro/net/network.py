@@ -1,6 +1,8 @@
 """The simulated network tying nodes, topology, links and the simulator together.
 
-``Network`` owns:
+``SimulatedNetwork`` (historically exported as ``Network``; both names refer
+to the same class) is the discrete-event implementation of the
+:class:`repro.net.transport.Transport` seam.  It owns:
 
 * the :class:`repro.net.simulator.Simulator` (virtual clock),
 * one :class:`repro.net.node.Node` per address in the topology,
@@ -55,6 +57,7 @@ from repro.net.node import Node
 from repro.net.simulator import Simulator
 from repro.net.stats import TrafficStats
 from repro.net.topology import Topology
+from repro.net.transport import TimerService, Transport
 
 
 @dataclass
@@ -68,8 +71,8 @@ class _PendingBatch:
     handle: object = None
 
 
-class Network:
-    """Message-passing fabric over a static topology.
+class SimulatedNetwork(Transport):
+    """Message-passing fabric over a static topology (virtual time).
 
     Parameters
     ----------
@@ -103,6 +106,13 @@ class Network:
         self.batches_flushed = 0
         self.messages_coalesced = 0
         self.set_coalescing(coalesce_window_s)
+
+    # ------------------------------------------------------------ transport
+
+    @property
+    def timers(self) -> TimerService:
+        """The simulator doubles as this transport's timer service."""
+        return self.simulator
 
     # ----------------------------------------------------------- coalescing
 
@@ -279,4 +289,8 @@ class Network:
             self.fail_node(address)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Network(nodes={self.num_nodes}, topology={self.topology!r})"
+        return f"SimulatedNetwork(nodes={self.num_nodes}, topology={self.topology!r})"
+
+
+#: Historical name; the whole simulation stack was written against it.
+Network = SimulatedNetwork

@@ -1,10 +1,11 @@
-"""Simulated host nodes.
+"""Host nodes (simulated or real).
 
 A :class:`Node` is one participant machine: it has an integer address, a
 registry of protocol handlers (the DHT and the PIER query processor register
 themselves here), an aliveness flag used by the failure injector, and a
-reference to the network so upper layers can send messages and schedule
-timers without knowing about the simulator directly.
+reference to a :class:`repro.net.transport.Transport` so upper layers can
+send messages and schedule timers without knowing whether they run under
+the virtual-clock simulator or over real sockets.
 
 The handler registry is a simple string-keyed dispatch table.  Handlers
 receive the :class:`repro.net.message.Message` that arrived; replies are sent
@@ -20,15 +21,15 @@ from repro.exceptions import NetworkError
 from repro.net.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from repro.net.network import Network
+    from repro.net.transport import Transport
 
 Handler = Callable[["Node", Message], None]
 
 
 class Node:
-    """One simulated machine participating in the overlay."""
+    """One machine participating in the overlay (over either transport)."""
 
-    def __init__(self, address: int, network: "Network"):
+    def __init__(self, address: int, network: "Transport"):
         self.address = int(address)
         self.network = network
         self.alive = True
@@ -121,7 +122,7 @@ class Node:
             if self.alive:
                 callback(*args)
 
-        return self.network.simulator.schedule(delay, _guarded)
+        return self.network.timers.schedule(delay, _guarded)
 
     def schedule_periodic(self, period: float, callback: Callable[..., None],
                           *args: Any, initial_delay: Optional[float] = None):
@@ -131,14 +132,14 @@ class Node:
             if self.alive:
                 callback(*args)
 
-        return self.network.simulator.schedule_periodic(
+        return self.network.timers.schedule_periodic(
             period, _guarded, initial_delay=initial_delay
         )
 
     @property
     def now(self) -> float:
-        """Current virtual time."""
-        return self.network.simulator.now
+        """Current time on this node's transport clock."""
+        return self.network.timers.now
 
     # --------------------------------------------------------------- failure
 

@@ -1,0 +1,367 @@
+"""Real-network transport: asyncio TCP sockets and wall-clock timers.
+
+This is the second implementation of the :class:`repro.net.transport.Transport`
+seam.  One :class:`RealTransport` hosts exactly one :class:`repro.net.node.Node`
+per OS process; remote addresses resolve to ``(host, port)`` endpoints and
+messages travel as length-prefixed msgpack frames (:mod:`repro.net.wire`).
+
+Design notes
+------------
+* **Single-threaded.**  Everything — socket reads, handler dispatch, timers —
+  runs on one asyncio event loop, which preserves the run-to-completion
+  semantics handlers enjoy under the simulator (no locks anywhere above the
+  transport).
+* **Connection pooling.**  One pooled outbound connection per peer, created
+  lazily and owned by a writer task that drains a per-peer queue, so sends
+  never block the caller.  A broken connection is re-established with
+  exponential backoff; in-flight and queued frames are retried on the new
+  connection (peers tolerate duplicates the same way they tolerate
+  re-multicasts — soft state).
+* **Bounce semantics.**  When a peer stays unreachable past the backoff
+  budget, every queued message is handed to the local node's
+  ``deliver_bounce`` — the same "transport timeout" notification the
+  simulator synthesises for dead destinations, so the DHT's re-route/repair
+  paths work unchanged.
+* **Wall-clock timers.**  :class:`WallClockTimers` adapts ``loop.call_later``
+  to the Simulator's ``schedule``/``schedule_periodic`` surface; handles
+  support ``cancel()`` exactly like the virtual-clock ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.transport import TimerService, Transport
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    WireError,
+    encode_frame,
+    message_from_wire,
+    message_to_wire,
+)
+
+log = logging.getLogger("repro.net.real")
+
+#: Reconnect backoff schedule (seconds): initial, multiplier, cap.
+RECONNECT_INITIAL_S = 0.05
+RECONNECT_MULTIPLIER = 2.0
+RECONNECT_CAP_S = 2.0
+#: Consecutive failed connection attempts before queued messages bounce.
+MAX_CONNECT_ATTEMPTS = 4
+
+
+class _WallClockHandle:
+    """One-shot timer handle mirroring :class:`repro.net.simulator.EventHandle`."""
+
+    __slots__ = ("_timer", "time", "cancelled")
+
+    def __init__(self, timer: asyncio.TimerHandle, due: float):
+        self._timer = timer
+        self.time = due
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._timer.cancel()
+
+
+class _WallClockPeriodicHandle:
+    """Periodic handle mirroring :class:`repro.net.simulator.PeriodicHandle`."""
+
+    __slots__ = ("active", "current")
+
+    def __init__(self) -> None:
+        self.active = True
+        self.current: Optional[_WallClockHandle] = None
+
+    def cancel(self) -> None:
+        self.active = False
+        if self.current is not None:
+            self.current.cancel()
+
+
+class WallClockTimers(TimerService):
+    """The Simulator's timer surface over ``loop.call_later``.
+
+    The clock is the event loop's monotonic clock; soft-state expiry,
+    sweeps and request timeouts all read it through ``now`` exactly as they
+    read virtual time under the simulator.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+
+    @property
+    def now(self) -> float:
+        return self._loop.time()
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> _WallClockHandle:
+        delay = max(0.0, delay)
+        timer = self._loop.call_later(delay, callback, *args)
+        return _WallClockHandle(timer, self.now + delay)
+
+    def schedule_periodic(self, period: float, callback: Callable[..., None],
+                          *args: Any,
+                          initial_delay: Optional[float] = None
+                          ) -> _WallClockPeriodicHandle:
+        if period <= 0:
+            raise ValueError(f"periodic timers need a positive period (got {period})")
+        handle = _WallClockPeriodicHandle()
+        first = period if initial_delay is None else initial_delay
+
+        def _fire() -> None:
+            if not handle.active:
+                return
+            callback(*args)
+            if handle.active:
+                handle.current = self.schedule(period, _fire)
+
+        handle.current = self.schedule(first, _fire)
+        return handle
+
+
+class _Peer:
+    """Pooled outbound connection to one remote node."""
+
+    __slots__ = ("endpoint", "queue", "task")
+
+    def __init__(self, endpoint: Tuple[str, int]):
+        self.endpoint = endpoint
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.task: Optional[asyncio.Task] = None
+
+
+class RealTransport(Transport):
+    """asyncio-TCP transport hosting one node of a real cluster.
+
+    Parameters
+    ----------
+    address:
+        This node's overlay address (may be re-assigned by the bootstrap
+        handshake before the node attaches).
+    listen_host, listen_port:
+        Where :meth:`start` binds the frame server.
+    max_frame_bytes:
+        Oversized-frame guard forwarded to the codec.
+    """
+
+    def __init__(self, address: int, listen_host: str = "127.0.0.1",
+                 listen_port: int = 0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.address = int(address)
+        self.listen_host = listen_host
+        self.listen_port = listen_port
+        self.max_frame_bytes = max_frame_bytes
+        self.node: Optional[Node] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._timers: Optional[WallClockTimers] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: overlay address -> (host, port) of every known peer.
+        self.peers: Dict[int, Tuple[str, int]] = {}
+        self._pool: Dict[int, _Peer] = {}
+        #: Frame handlers for non-"msg" frame kinds (bootstrap, gateway RPC):
+        #: kind -> callable(writer, frame_dict).
+        self._frame_handlers: Dict[str, Callable] = {}
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.reconnects = 0
+        self.bounces = 0
+
+    # ------------------------------------------------------------ transport
+
+    @property
+    def timers(self) -> WallClockTimers:
+        if self._timers is None:
+            raise RuntimeError("transport not started: timers unavailable")
+        return self._timers
+
+    def attach_node(self, node: Node) -> None:
+        """Bind the (single) local node this transport delivers to."""
+        self.node = node
+
+    def register_frame_handler(self, kind: str, handler: Callable) -> None:
+        """Register a handler for frames whose ``"t"`` field equals ``kind``.
+
+        The handler receives ``(writer, frame)`` and runs on the event loop;
+        the bootstrap handshake and the client gateway plug in here, sharing
+        the node-to-node framing and server socket.
+        """
+        self._frame_handlers[kind] = handler
+
+    def update_peers(self, peers: Dict[int, Tuple[str, int]]) -> None:
+        """Install/extend the address book (from the membership broadcast)."""
+        for address, endpoint in peers.items():
+            self.peers[int(address)] = (endpoint[0], int(endpoint[1]))
+
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery; never blocks, never raises remotely."""
+        self.frames_sent += 1
+        if message.dst == self.address:
+            # Local sends stay asynchronous, as under the simulator: the
+            # handler must not run inside the caller's stack frame.
+            self._loop.call_soon(self._deliver_local, message)
+            return
+        peer = self._pool.get(message.dst)
+        if peer is None:
+            endpoint = self.peers.get(message.dst)
+            if endpoint is None:
+                # Unknown peer: indistinguishable from a dead one.
+                self._bounce(message)
+                return
+            peer = _Peer(endpoint)
+            self._pool[message.dst] = peer
+            peer.task = self._loop.create_task(self._run_peer(message.dst, peer))
+        peer.queue.put_nowait(message)
+
+    # ----------------------------------------------------------- lifecycle
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the frame server; returns the actual (host, port) bound."""
+        self._loop = asyncio.get_running_loop()
+        self._timers = WallClockTimers(self._loop)
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.listen_host, self.listen_port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.listen_port = sockname[1]
+        return sockname[0], sockname[1]
+
+    async def close(self) -> None:
+        """Stop the server and tear down every pooled connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for peer in self._pool.values():
+            if peer.task is not None:
+                peer.task.cancel()
+        tasks = [p.task for p in self._pool.values() if p.task is not None]
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._pool.clear()
+
+    # ------------------------------------------------------------- inbound
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                self.bytes_received += len(data)
+                for frame in decoder.feed(data):
+                    self.frames_received += 1
+                    self._dispatch_frame(writer, frame)
+        except (ConnectionError, WireError, asyncio.IncompleteReadError) as exc:
+            log.debug("node %s: inbound connection dropped: %s", self.address, exc)
+        except asyncio.CancelledError:
+            # Loop shutdown (asyncio.run cancelling leftover connection
+            # tasks): exit quietly; the writer is closed on the way out.
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch_frame(self, writer: asyncio.StreamWriter, frame: Any) -> None:
+        if not isinstance(frame, dict):
+            log.warning("node %s: discarding non-dict frame %r", self.address, frame)
+            return
+        kind = frame.get("t")
+        if kind == "msg":
+            self._deliver_local(message_from_wire(frame))
+            return
+        handler = self._frame_handlers.get(kind)
+        if handler is None:
+            log.warning("node %s: no handler for frame kind %r", self.address, kind)
+            return
+        handler(writer, frame)
+
+    def _deliver_local(self, message: Message) -> None:
+        if self.node is None:
+            return
+        try:
+            self.node.deliver(message)
+        except Exception:  # noqa: BLE001 — a bad handler must not kill the loop
+            log.exception("node %s: handler for %r failed",
+                          self.address, message.protocol)
+
+    # ------------------------------------------------------------- outbound
+
+    async def _run_peer(self, dst: int, peer: _Peer) -> None:
+        """Writer loop for one peer: connect (with backoff), drain the queue.
+
+        Runs until cancelled.  After ``MAX_CONNECT_ATTEMPTS`` consecutive
+        connection failures the queued messages bounce and the backoff
+        resets — a peer that later comes back is picked up by the next send.
+        """
+        writer: Optional[asyncio.StreamWriter] = None
+        failures = 0
+        backoff = RECONNECT_INITIAL_S
+        pending: Optional[Message] = None
+        while True:
+            if pending is None:
+                pending = await peer.queue.get()
+            if writer is None:
+                try:
+                    _reader, writer = await asyncio.open_connection(*peer.endpoint)
+                    failures = 0
+                    backoff = RECONNECT_INITIAL_S
+                except OSError:
+                    failures += 1
+                    if failures >= MAX_CONNECT_ATTEMPTS:
+                        self._bounce(pending)
+                        pending = None
+                        while not peer.queue.empty():
+                            self._bounce(peer.queue.get_nowait())
+                        failures = 0
+                        backoff = RECONNECT_INITIAL_S
+                        continue
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * RECONNECT_MULTIPLIER, RECONNECT_CAP_S)
+                    continue
+            try:
+                frame = encode_frame(message_to_wire(pending), self.max_frame_bytes)
+                writer.write(frame)
+                await writer.drain()
+                self.bytes_sent += len(frame)
+                pending = None
+            except (ConnectionError, OSError):
+                # Connection died mid-write: reconnect and retry this
+                # message (receivers tolerate the possible duplicate).
+                self.reconnects += 1
+                try:
+                    writer.close()
+                except Exception:  # noqa: BLE001
+                    pass
+                writer = None
+
+    def _bounce(self, message: Message) -> None:
+        """Local failure notification, mirroring the simulator's bounce."""
+        self.bounces += 1
+        if self.node is not None:
+            self.node.deliver_bounce(message)
+
+    # ------------------------------------------------------------- helpers
+
+    def push_frame(self, writer: asyncio.StreamWriter, frame: dict) -> None:
+        """Write a control frame (RPC response, event) to a live connection."""
+        data = encode_frame(frame, self.max_frame_bytes)
+        writer.write(data)
+        self.bytes_sent += len(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RealTransport(address={self.address}, "
+                f"listen={self.listen_host}:{self.listen_port}, "
+                f"peers={len(self.peers)})")

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.exceptions import SimulationError
+from repro.net.transport import TimerService
 
 
 @dataclass(order=True)
@@ -89,8 +90,12 @@ class PeriodicHandle:
             self.current.cancel()
 
 
-class Simulator:
+class Simulator(TimerService):
     """Virtual-clock discrete-event simulator.
+
+    Doubles as the :class:`repro.net.transport.TimerService` of the
+    simulated transport: nodes schedule their soft-state timers directly on
+    the event loop that also delivers their messages.
 
     Parameters
     ----------

@@ -1,0 +1,85 @@
+"""The transport seam: one message/timer surface, two implementations.
+
+Everything above :class:`repro.net.node.Node` — the DHT routing layers, the
+Provider, the multicast service, the query executor — talks to the outside
+world through exactly two operations on the object it calls ``network``:
+
+* ``network.send(message)`` — asynchronous, fire-and-forget delivery of a
+  :class:`repro.net.message.Message` to another node (or back to itself).
+* ``network.timers`` — a :class:`TimerService` used for soft-state sweeps,
+  keep-alives, collection windows and request timeouts.
+
+:class:`Transport` names that seam.  The discrete-event
+:class:`repro.net.network.SimulatedNetwork` implements it with a virtual
+clock (its ``timers`` *is* the :class:`repro.net.simulator.Simulator`), and
+:class:`repro.net.real.RealTransport` implements it with asyncio TCP
+sockets and wall-clock timers.  Because the upper layers never look past
+this surface, ``core/``, ``dht/`` and ``client.py`` run unchanged over
+either — the property the paper relies on when it moves between the
+simulator and the 64-node cluster deployment with one code base.
+
+Delivery contract (both implementations):
+
+* Sends never block and never raise for remote conditions; they may raise
+  for local programming errors (unknown address in the simulator).
+* Messages between a pair of live nodes arrive in send order.
+* A message to a dead/unreachable node is dropped; if the *sender*
+  registered a bounce handler for the protocol, it is notified
+  asynchronously via ``Node.deliver_bounce`` (a transport timeout stand-in).
+* Local sends (``src == dst``) are still asynchronous: the handler runs on
+  a later tick, never inside the caller's stack frame.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+from repro.net.message import Message
+
+
+class TimerService(ABC):
+    """Clock plus one-shot and periodic timers (the Simulator's surface).
+
+    Handles returned by :meth:`schedule` expose ``cancel()``, ``cancelled``
+    and ``time`` (the absolute due time on this service's clock); handles
+    returned by :meth:`schedule_periodic` expose ``cancel()`` and
+    ``active``.  The simulator's :class:`repro.net.simulator.EventHandle` /
+    :class:`~repro.net.simulator.PeriodicHandle` and the real transport's
+    wall-clock handles both satisfy this.
+    """
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (virtual or wall-clock monotonic)."""
+
+    @abstractmethod
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any):
+        """Run ``callback(*args)`` once, ``delay`` seconds from now."""
+
+    @abstractmethod
+    def schedule_periodic(self, period: float, callback: Callable[..., None],
+                          *args: Any, initial_delay: Optional[float] = None):
+        """Run ``callback(*args)`` every ``period`` seconds until cancelled."""
+
+
+class Transport(ABC):
+    """Message fabric + timer service one node (or a whole simulation) uses.
+
+    The simulated implementation hosts *every* node of a deployment behind
+    one Transport; the real implementation hosts exactly one node per
+    process and turns remote addresses into TCP connections.  Upper layers
+    cannot tell the difference — they hold a ``network`` reference and use
+    only this surface.
+    """
+
+    @property
+    @abstractmethod
+    def timers(self) -> TimerService:
+        """The timer service local handlers schedule their soft state on."""
+
+    @abstractmethod
+    def send(self, message: Message) -> None:
+        """Queue ``message`` for asynchronous delivery (see module docs)."""

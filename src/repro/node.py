@@ -1,0 +1,406 @@
+"""Standalone PIER node process: ``python -m repro.node``.
+
+Boots one node of a *real* cluster — asyncio TCP transport, wall-clock
+timers — running the exact same DHT/Provider/executor stack the simulator
+drives.  A fixed-membership cluster of ``N`` processes assembles itself
+with a tiny bootstrap handshake and then serves queries to remote
+:class:`repro.client.PierClient` sessions through a gateway RPC surface.
+
+Bootstrap
+---------
+The first process is started without ``--join`` and becomes the bootstrap
+(overlay address 0)::
+
+    python -m repro.node --listen 127.0.0.1:9100 --nodes 4
+
+Every other process joins through it::
+
+    python -m repro.node --listen 127.0.0.1:9101 --join 127.0.0.1:9100
+
+Joiners send a ``hello`` frame carrying their advertised endpoint; the
+bootstrap assigns overlay addresses in arrival order and, once all ``N``
+members registered, broadcasts the membership map and the cluster
+configuration (DHT kind, CAN dimensions, seed, sweep period, row
+pipeline).  Each process then builds the full stabilised overlay *locally*
+(the network builders are deterministic functions of the address list — see
+:mod:`repro.harness.overlay`) and rebinds its own routing layer onto its
+socket-backed node.  No join messages cross the wire, mirroring the paper's
+"measurements start after the CAN routing stabilizes".
+
+Gateway RPC
+-----------
+Clients speak the same length-prefixed msgpack framing as nodes do
+(:mod:`repro.net.wire`), with ``{"t": "rpc", "id": ..., "op": ...}``
+frames:
+
+* ``status`` — readiness, this node's address, the full membership map.
+* ``store`` — place pre-grouped tuples directly into this node's storage
+  (the remote fast load; see :class:`repro.remote.RemotePier`).
+* ``submit`` — run a :class:`repro.core.query.QuerySpec` from this node;
+  result rows stream back as ``{"t": "evt"}`` frames as they arrive.
+* ``finish`` — tear the query's distributed dataflow down everywhere.
+* ``scan_count`` — local item count of a namespace (diagnostics).
+* ``shutdown`` — stop this node process (the docker-compose demo's clean
+  exit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import sys
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.executor import QueryExecutor, QueryHandle
+from repro.dht.naming import hash_key
+from repro.dht.provider import Provider
+from repro.dht.storage import StoredItem
+from repro.harness.overlay import build_local_routing
+from repro.net.node import Node
+from repro.net.real import RealTransport
+from repro.net.wire import MAX_FRAME_BYTES, FrameDecoder, encode_frame
+
+log = logging.getLogger("repro.node")
+
+#: How often a running query's new result rows are pushed to its client.
+RESULT_PUSH_PERIOD_S = 0.05
+#: Default soft-state sweep period on real nodes (the paper's renewal scale
+#: makes sub-second sweeps pointless; 5 s keeps expiry prompt without churn).
+DEFAULT_SWEEP_PERIOD_S = 5.0
+
+
+def parse_endpoint(text: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (the only endpoint syntax the CLI accepts)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+class _ResultPump:
+    """Streams one query's arriving rows to the client that submitted it."""
+
+    __slots__ = ("handle", "writer", "sent", "timer")
+
+    def __init__(self, handle: QueryHandle, writer: asyncio.StreamWriter):
+        self.handle = handle
+        self.writer = writer
+        self.sent = 0
+        self.timer = None
+
+
+class PierNode:
+    """One real-cluster node: transport + DHT + Provider + executor + gateway."""
+
+    def __init__(self, listen: Tuple[str, int],
+                 advertise: Optional[Tuple[str, int]] = None,
+                 join: Optional[Tuple[str, int]] = None,
+                 nodes: int = 0,
+                 dht: str = "can", can_dimensions: int = 2, seed: int = 0,
+                 sweep_period_s: float = DEFAULT_SWEEP_PERIOD_S,
+                 compiled_rows: bool = True,
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.listen = listen
+        self.advertise = advertise or listen
+        self.join_endpoint = join
+        self.expected_nodes = nodes
+        self.config: Dict[str, Any] = {
+            "dht": dht,
+            "can_dimensions": can_dimensions,
+            "seed": seed,
+            "sweep_period_s": sweep_period_s,
+            "compiled_rows": compiled_rows,
+        }
+        self.transport = RealTransport(0, listen[0], listen[1],
+                                       max_frame_bytes=max_frame_bytes)
+        self.node: Optional[Node] = None
+        self.provider: Optional[Provider] = None
+        self.executor: Optional[QueryExecutor] = None
+        self.ready = False
+        self.membership: Dict[int, Tuple[str, int]] = {}
+        self._pumps: Dict[int, _ResultPump] = {}
+        self._members_complete = asyncio.Event()
+        #: (writer, endpoint) per joiner, in arrival order (bootstrap only).
+        self._joiners = []
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Bind the server, run the bootstrap handshake, assemble the stack."""
+        self.transport.register_frame_handler("hello", self._on_hello)
+        self.transport.register_frame_handler("rpc", self._on_rpc)
+        host, port = await self.transport.start()
+        log.info("listening on %s:%d (advertising %s:%d)",
+                 host, port, *self.advertise)
+        if self.join_endpoint is None:
+            await self._bootstrap()
+        else:
+            await self._join()
+        self._assemble()
+        log.info("node %d ready (%d-node %s overlay)",
+                 self.node.address, len(self.membership), self.config["dht"])
+
+    async def run_forever(self) -> None:
+        await self.start()
+        await self._stopping.wait()
+        await self.transport.close()
+
+    async def _bootstrap(self) -> None:
+        """Collect ``N - 1`` joiners, assign addresses, broadcast membership."""
+        if self.expected_nodes <= 0:
+            raise SystemExit("--nodes N is required on the bootstrap node")
+        self.transport.address = 0
+        self.membership[0] = self.advertise
+        if self.expected_nodes > 1:
+            await self._members_complete.wait()
+        frame = {"t": "mem", "nodes": {a: list(e) for a, e in
+                                       self.membership.items()},
+                 "config": self.config}
+        for address, (writer, _endpoint) in enumerate(self._joiners, start=1):
+            self.transport.push_frame(writer, dict(frame, you=address))
+            await writer.drain()
+
+    def _on_hello(self, writer: asyncio.StreamWriter, frame: dict) -> None:
+        if self.join_endpoint is not None:
+            log.warning("ignoring hello frame: this node is not the bootstrap")
+            return
+        endpoint = (frame["host"], int(frame["port"]))
+        address = len(self._joiners) + 1
+        self._joiners.append((writer, endpoint))
+        self.membership[address] = endpoint
+        log.info("joiner %d registered from %s:%d", address, *endpoint)
+        if len(self.membership) >= self.expected_nodes:
+            self._members_complete.set()
+
+    async def _join(self) -> None:
+        """Register with the bootstrap and wait for the membership broadcast."""
+        reader, writer = await self._connect_with_retry(self.join_endpoint)
+        writer.write(encode_frame({
+            "t": "hello", "host": self.advertise[0], "port": self.advertise[1],
+        }))
+        await writer.drain()
+        decoder = FrameDecoder(self.transport.max_frame_bytes)
+        membership_frame = None
+        while membership_frame is None:
+            data = await reader.read(65536)
+            if not data:
+                raise SystemExit("bootstrap closed the connection before "
+                                 "membership was broadcast")
+            for frame in decoder.feed(data):
+                if isinstance(frame, dict) and frame.get("t") == "mem":
+                    membership_frame = frame
+        writer.close()
+        self.transport.address = int(membership_frame["you"])
+        self.config.update(membership_frame["config"])
+        self.membership = {
+            int(a): (e[0], int(e[1]))
+            for a, e in membership_frame["nodes"].items()
+        }
+
+    @staticmethod
+    async def _connect_with_retry(endpoint: Tuple[str, int], attempts: int = 40,
+                                  delay_s: float = 0.25):
+        """Joiners may start before the bootstrap's socket is up; retry."""
+        last: Optional[OSError] = None
+        for _ in range(attempts):
+            try:
+                return await asyncio.open_connection(*endpoint)
+            except OSError as exc:
+                last = exc
+                await asyncio.sleep(delay_s)
+        raise SystemExit(f"cannot reach bootstrap at {endpoint}: {last}")
+
+    def _assemble(self) -> None:
+        """Build node + overlay + Provider + executor on this transport."""
+        self.transport.update_peers(self.membership)
+        self.node = Node(self.transport.address, self.transport)
+        self.transport.attach_node(self.node)
+        routing, _builder = build_local_routing(
+            self.node, list(self.membership),
+            dht=self.config["dht"],
+            can_dimensions=self.config["can_dimensions"],
+            seed=self.config["seed"],
+        )
+        self.provider = Provider(
+            self.node, routing,
+            sweep_period_s=self.config["sweep_period_s"],
+            instance_seed=self.node.address,
+            batching=True,
+        )
+        self.executor = QueryExecutor(
+            self.node, self.provider,
+            compiled_rows=self.config["compiled_rows"],
+        )
+        self.ready = True
+
+    # -------------------------------------------------------------- gateway
+
+    def _on_rpc(self, writer: asyncio.StreamWriter, frame: dict) -> None:
+        request_id = frame.get("id")
+        op = frame.get("op")
+        try:
+            result = self._dispatch_rpc(op, frame, writer)
+        except Exception as exc:  # noqa: BLE001 — report, don't kill the loop
+            log.exception("rpc %r failed", op)
+            response = {"t": "res", "id": request_id, "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        else:
+            response = {"t": "res", "id": request_id, "ok": True}
+            response.update(result)
+        self.transport.push_frame(writer, response)
+
+    def _dispatch_rpc(self, op: str, frame: dict,
+                      writer: asyncio.StreamWriter) -> Dict[str, Any]:
+        if op == "ping":
+            return {}
+        if op == "status":
+            return {
+                "ready": self.ready,
+                "address": self.transport.address,
+                "nodes": {a: list(e) for a, e in self.membership.items()},
+                "config": self.config,
+            }
+        if op == "shutdown":
+            asyncio.get_running_loop().call_soon(self._stopping.set)
+            return {}
+        if not self.ready:
+            raise RuntimeError("node is not ready yet")
+        if op == "store":
+            return self._rpc_store(frame)
+        if op == "submit":
+            return self._rpc_submit(frame, writer)
+        if op == "finish":
+            return self._rpc_finish(frame)
+        if op == "scan_count":
+            count = sum(1 for _ in self.provider.lscan(frame["namespace"]))
+            return {"count": count}
+        raise ValueError(f"unknown rpc op {op!r}")
+
+    def _rpc_store(self, frame: dict) -> Dict[str, Any]:
+        """Direct local store of items this node owns (remote fast load)."""
+        now = self.node.now
+        stored = 0
+        for entry in frame["items"]:
+            namespace = entry["namespace"]
+            resource_id = entry["resource_id"]
+            self.provider.storage.store(StoredItem(
+                namespace=namespace,
+                resource_id=resource_id,
+                instance_id=self.provider.next_instance_id(),
+                value=entry["value"],
+                key=hash_key(namespace, resource_id),
+                expires_at=now + entry.get("lifetime", 1e9),
+                stored_at=now,
+                publisher=entry.get("publisher"),
+                size_bytes=entry.get("size_bytes", 100),
+            ))
+            stored += 1
+        return {"stored": stored}
+
+    def _rpc_submit(self, frame: dict,
+                    writer: asyncio.StreamWriter) -> Dict[str, Any]:
+        query = frame["query"]
+        handle = self.executor.submit(query)
+        pump = _ResultPump(handle, writer)
+        pump.timer = self.node.schedule_periodic(
+            RESULT_PUSH_PERIOD_S, self._push_results, query.query_id,
+            initial_delay=RESULT_PUSH_PERIOD_S,
+        )
+        self._pumps[query.query_id] = pump
+        return {"query_id": query.query_id}
+
+    def _push_results(self, query_id: int) -> None:
+        pump = self._pumps.get(query_id)
+        if pump is None:
+            return
+        if pump.writer.is_closing():
+            self._stop_pump(query_id)
+            return
+        arrivals = pump.handle.arrivals
+        if pump.sent >= len(arrivals):
+            return
+        fresh = arrivals[pump.sent:]
+        pump.sent = len(arrivals)
+        submitted = pump.handle.submitted_at
+        self.transport.push_frame(pump.writer, {
+            "t": "evt", "kind": "rows", "query_id": query_id,
+            "rows": [row for _t, row in fresh],
+            "times": [t - submitted for t, _row in fresh],
+        })
+
+    def _stop_pump(self, query_id: int) -> None:
+        pump = self._pumps.pop(query_id, None)
+        if pump is not None and pump.timer is not None:
+            pump.timer.cancel()
+
+    def _rpc_finish(self, frame: dict) -> Dict[str, Any]:
+        query_id = int(frame["query_id"])
+        # Flush anything that arrived since the last pump tick, then stop.
+        self._push_results(query_id)
+        self._stop_pump(query_id)
+        self.executor.finish(query_id,
+                             record_feedback=bool(frame.get("record_feedback")))
+        return {}
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.node",
+        description="Run one standalone PIER node over real TCP sockets.",
+    )
+    parser.add_argument("--listen", type=parse_endpoint, required=True,
+                        metavar="HOST:PORT", help="bind the frame server here")
+    parser.add_argument("--advertise", type=parse_endpoint, default=None,
+                        metavar="HOST:PORT",
+                        help="endpoint peers should dial (default: --listen; "
+                             "set to the service name under docker-compose)")
+    parser.add_argument("--join", type=parse_endpoint, default=None,
+                        metavar="HOST:PORT",
+                        help="bootstrap node to register with (omit on the "
+                             "bootstrap itself)")
+    parser.add_argument("--nodes", type=int, default=0,
+                        help="cluster size (bootstrap only)")
+    parser.add_argument("--dht", choices=("can", "chord"), default="can",
+                        help="overlay kind (bootstrap only; broadcast to all)")
+    parser.add_argument("--can-dimensions", type=int, default=2,
+                        help="CAN dimensionality (bootstrap only)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="deterministic overlay seed (bootstrap only)")
+    parser.add_argument("--sweep-period", type=float,
+                        default=DEFAULT_SWEEP_PERIOD_S,
+                        help="soft-state expiry sweep period in seconds")
+    parser.add_argument("--interpreted-rows", action="store_true",
+                        help="disable the compiled row pipeline")
+    parser.add_argument("--log-level", default="INFO")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper(), logging.INFO),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    node = PierNode(
+        listen=args.listen,
+        advertise=args.advertise,
+        join=args.join,
+        nodes=args.nodes,
+        dht=args.dht,
+        can_dimensions=args.can_dimensions,
+        seed=args.seed,
+        sweep_period_s=args.sweep_period,
+        compiled_rows=not args.interpreted_rows,
+    )
+    try:
+        asyncio.run(node.run_forever())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

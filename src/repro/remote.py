@@ -1,0 +1,365 @@
+"""Client-side access to a real PIER cluster: ``RemotePier``.
+
+A :class:`RemotePier` is the real-cluster counterpart of
+:class:`repro.harness.experiment.PierNetwork` *as seen by a client*: it
+exposes the duck-typed surface :class:`repro.client.PierClient` needs —
+``executor(node)``, ``network`` — plus the fast-load helper, so the very
+same client/cursor code that drives the simulator drives a cluster of
+``python -m repro.node`` processes over TCP::
+
+    pier = RemotePier.connect("127.0.0.1", 9100)
+    pier.load_relation(workload.r_relation, workload.r_by_node)
+    client = PierClient(pier, node=pier.gateway_address, catalog=...)
+    rows = client.sql("SELECT ... ", strategy=JoinStrategy.SYMMETRIC_HASH,
+                      timeout_s=30.0).fetchall()
+
+How the cursor drive loop maps onto sockets
+-------------------------------------------
+``ResultCursor`` drives a deployment through three calls: ``network.now``,
+``network.simulator.next_event_time()`` and ``network.run(until=...)``.
+Over a real cluster those become wall-clock reads and bounded socket pumps:
+``now`` is ``time.monotonic()``, the "next event" is one poll interval
+away, and ``run(until=t)`` reads result-event frames off the gateway
+connection until ``t``.  Timeouts, LIMIT handling, initiator-side
+aggregation finalisation — all of the cursor's logic — run unchanged.
+
+Everything here is synchronous (plain sockets with timeouts): the client is
+a driver, not a server, and blocking with deadlines keeps it trivially
+embeddable in tests and scripts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.executor import QueryHandle
+from repro.core.query import QuerySpec
+from repro.core.stats import StatsRegistry
+from repro.core.tuples import RelationDef
+from repro.exceptions import NetworkError
+from repro.harness.overlay import OwnerLocator
+from repro.net.wire import FrameDecoder, encode_frame
+
+#: How far ahead the drive shim reports the "next event" (the poll period).
+POLL_INTERVAL_S = 0.05
+#: Socket-level timeout on every blocking operation (hard hang guard).
+SOCKET_TIMEOUT_S = 10.0
+#: How long ``run_until_idle`` pumps for trailing frames.
+IDLE_GRACE_S = 0.2
+
+
+class GatewayConnection:
+    """One framed TCP connection to a node's gateway."""
+
+    def __init__(self, host: str, port: int,
+                 timeout_s: float = SOCKET_TIMEOUT_S):
+        self.endpoint = (host, port)
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.settimeout(timeout_s)
+        self._decoder = FrameDecoder()
+        self._rpc_ids = itertools.count(1)
+        #: Responses that arrived while waiting for a different frame.
+        self._responses: Dict[int, dict] = {}
+        #: query_id -> QueryHandle receiving streamed rows.
+        self.handles: Dict[int, QueryHandle] = {}
+
+    # ------------------------------------------------------------------ rpc
+
+    def rpc(self, op: str, timeout_s: float = SOCKET_TIMEOUT_S,
+            **fields: Any) -> dict:
+        """Send one request and block until its response arrives.
+
+        Event frames arriving in between are dispatched to their handles,
+        so a pending query keeps streaming while the client issues RPCs.
+        """
+        request_id = next(self._rpc_ids)
+        frame = {"t": "rpc", "id": request_id, "op": op}
+        frame.update(fields)
+        self._sock.sendall(encode_frame(frame))
+        deadline = time.monotonic() + timeout_s
+        while True:
+            response = self._responses.pop(request_id, None)
+            if response is not None:
+                if not response.get("ok"):
+                    raise NetworkError(
+                        f"rpc {op!r} failed on {self.endpoint}: "
+                        f"{response.get('error')}"
+                    )
+                return response
+            if time.monotonic() >= deadline:
+                raise NetworkError(
+                    f"rpc {op!r} to {self.endpoint} timed out after {timeout_s}s"
+                )
+            self._pump_once(deadline)
+
+    # ----------------------------------------------------------------- pump
+
+    def pump(self, until: float) -> int:
+        """Read frames until wall-clock ``until`` (monotonic); return count."""
+        dispatched = 0
+        while time.monotonic() < until:
+            dispatched += self._pump_once(until)
+        return dispatched
+
+    def _pump_once(self, deadline: float) -> int:
+        budget = deadline - time.monotonic()
+        if budget <= 0:
+            return 0
+        self._sock.settimeout(min(budget, SOCKET_TIMEOUT_S))
+        try:
+            data = self._sock.recv(65536)
+        except socket.timeout:
+            return 0
+        if not data:
+            raise NetworkError(f"gateway {self.endpoint} closed the connection")
+        dispatched = 0
+        for frame in self._decoder.feed(data):
+            self._dispatch(frame)
+            dispatched += 1
+        return dispatched
+
+    def _dispatch(self, frame: Any) -> None:
+        if not isinstance(frame, dict):
+            return
+        kind = frame.get("t")
+        if kind == "res":
+            self._responses[frame.get("id")] = frame
+        elif kind == "evt" and frame.get("kind") == "rows":
+            handle = self.handles.get(frame.get("query_id"))
+            if handle is not None:
+                base = handle.submitted_at
+                for elapsed, row in zip(frame["times"], frame["rows"]):
+                    handle.record(base + elapsed, row)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class _WallClockShim:
+    """``simulator``-shaped poll hints for :class:`ResultCursor`."""
+
+    __slots__ = ("poll_interval_s",)
+
+    def __init__(self, poll_interval_s: float = POLL_INTERVAL_S):
+        self.poll_interval_s = poll_interval_s
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+    def next_event_time(self) -> float:
+        # A real cluster is never "idle" from the client's view; the next
+        # thing worth doing is always one poll interval away.
+        return time.monotonic() + self.poll_interval_s
+
+
+class _RemoteNetwork:
+    """The ``network`` surface cursors drive, mapped onto socket pumps."""
+
+    def __init__(self, pier: "RemotePier"):
+        self._pier = pier
+        self.simulator = _WallClockShim()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        horizon = time.monotonic() + POLL_INTERVAL_S if until is None else until
+        self._pier.gateway.pump(horizon)
+        return time.monotonic()
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> float:
+        self._pier.gateway.pump(time.monotonic() + IDLE_GRACE_S)
+        return time.monotonic()
+
+
+class RemoteExecutor:
+    """Initiator-side executor proxy: submit/finish over the gateway RPC.
+
+    Holds a local :class:`StatsRegistry` so ``PierClient``'s AUTO planning
+    has a registry to read (fed by :meth:`RemotePier.load_relation`'s
+    client-side partials); it deliberately has **no** ``provider``
+    attribute, which makes the client's DHT statistics refresh a no-op —
+    planning over a real cluster uses the loader's ground-truth partials.
+    """
+
+    def __init__(self, pier: "RemotePier", address: int):
+        self._pier = pier
+        self.address = address
+        self.stats: StatsRegistry = pier.relation_stats
+
+    def submit(self, query: QuerySpec) -> QueryHandle:
+        gateway = self._pier.gateway
+        handle = QueryHandle(query, submitted_at=time.monotonic())
+        gateway.handles[query.query_id] = handle
+        response = gateway.rpc("submit", query=query)
+        query.initiator = self._pier.gateway_address
+        assert response["query_id"] == query.query_id
+        return handle
+
+    def finish(self, query_id: int, record_feedback: bool = False) -> None:
+        self._pier.gateway.rpc("finish", query_id=query_id,
+                               record_feedback=record_feedback)
+
+
+class RemotePier:
+    """Client-side handle on a running real cluster.
+
+    Duck-typed to what :class:`repro.client.PierClient` and its cursors
+    need from a ``pier``: ``executor(node)``, ``network``, ``num_nodes``.
+    Construction connects to one node (the *gateway*) and fetches the
+    membership map; per-owner connections for fast loading open lazily.
+    """
+
+    def __init__(self, gateway: GatewayConnection):
+        self.gateway = gateway
+        status = gateway.rpc("status")
+        if not status["ready"]:
+            raise NetworkError("gateway node is not ready")
+        self.gateway_address: int = status["address"]
+        self.config: Dict[str, Any] = status["config"]
+        self.endpoints: Dict[int, Tuple[str, int]] = {
+            int(a): (e[0], int(e[1])) for a, e in status["nodes"].items()
+        }
+        self.locator = OwnerLocator(
+            list(self.endpoints),
+            dht=self.config["dht"],
+            can_dimensions=self.config["can_dimensions"],
+            seed=self.config["seed"],
+        )
+        self.network = _RemoteNetwork(self)
+        #: Ground-truth statistics over everything this client loaded.
+        self.relation_stats = StatsRegistry()
+        self._connections: Dict[int, GatewayConnection] = {
+            self.gateway_address: gateway,
+        }
+
+    @classmethod
+    def connect(cls, host: str, port: int,
+                timeout_s: float = SOCKET_TIMEOUT_S) -> "RemotePier":
+        """Open a session against the node listening on ``host:port``."""
+        return cls(GatewayConnection(host, port, timeout_s=timeout_s))
+
+    # ----------------------------------------------------------- pier surface
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.endpoints)
+
+    def executor(self, node: int) -> RemoteExecutor:
+        if node != self.gateway_address:
+            raise NetworkError(
+                f"this session's gateway is node {self.gateway_address}; "
+                f"connect() to node {node}'s endpoint to initiate from it"
+            )
+        return RemoteExecutor(self, node)
+
+    def connection(self, node: int) -> GatewayConnection:
+        """A (cached) gateway connection to any cluster node."""
+        conn = self._connections.get(node)
+        if conn is None:
+            host, port = self.endpoints[node]
+            conn = GatewayConnection(host, port)
+            self._connections[node] = conn
+        return conn
+
+    # ------------------------------------------------------------------ load
+
+    def load_relation(self, relation: RelationDef,
+                      rows_by_node: Dict[int, List[dict]],
+                      lifetime: float = 1e9,
+                      publish_stats: bool = True) -> int:
+        """Fast-load a relation into the cluster (direct store at owners).
+
+        Same shape as the simulator harness's fast load: the client groups
+        each publisher's rows by owner (ownership is a deterministic
+        function of the membership — :class:`OwnerLocator`), ships every
+        group to its owner's gateway in one ``store`` RPC, and publishes
+        per-publisher statistics partials at the statistics owner.  RPC
+        acknowledgements make the load synchronous: when this returns, every
+        tuple is scannable at its owner.
+        """
+        from repro.core.stats import (
+            STATS_ITEM_BYTES,
+            STATS_LIFETIME_S,
+            STATS_NAMESPACE,
+            RelationStats,
+            relation_stats_resource_id,
+        )
+
+        by_owner: Dict[int, List[dict]] = {}
+        loaded = 0
+        for publisher, rows in rows_by_node.items():
+            if rows and publish_stats:
+                partial = RelationStats.from_rows(relation, rows,
+                                                  at=time.monotonic())
+                self.relation_stats.merge_partial(partial)
+                stats_rid = relation_stats_resource_id(relation.name)
+                owner = self.locator.owner_of(STATS_NAMESPACE, stats_rid)
+                by_owner.setdefault(owner, []).append({
+                    "namespace": STATS_NAMESPACE,
+                    "resource_id": stats_rid,
+                    "value": partial,
+                    "lifetime": STATS_LIFETIME_S,
+                    "publisher": publisher,
+                    "size_bytes": STATS_ITEM_BYTES,
+                })
+            for row in rows:
+                resource_id = relation.resource_id(row)
+                owner = self.locator.owner_of(relation.namespace, resource_id)
+                by_owner.setdefault(owner, []).append({
+                    "namespace": relation.namespace,
+                    "resource_id": resource_id,
+                    "value": row,
+                    "lifetime": lifetime,
+                    "publisher": publisher,
+                    "size_bytes": relation.tuple_bytes,
+                })
+                loaded += 1
+        for owner, items in by_owner.items():
+            self.connection(owner).rpc("store", items=items)
+        return loaded
+
+    # ------------------------------------------------------------- utilities
+
+    def scan_count(self, namespace: str) -> int:
+        """Total item count of ``namespace`` across every node (diagnostics)."""
+        return sum(
+            self.connection(node).rpc("scan_count", namespace=namespace)["count"]
+            for node in self.endpoints
+        )
+
+    def client(self, catalog=None, **client_options):
+        """A :class:`repro.client.PierClient` session over this gateway."""
+        from repro.client import PierClient
+
+        return PierClient(self, node=self.gateway_address, catalog=catalog,
+                          **client_options)
+
+    def shutdown_cluster(self) -> None:
+        """Ask every node process to exit (used by demos; tests terminate)."""
+        for node in list(self.endpoints):
+            try:
+                self.connection(node).rpc("shutdown", timeout_s=2.0)
+            except (NetworkError, OSError):
+                pass
+
+    def close(self) -> None:
+        for conn in self._connections.values():
+            conn.close()
+        self._connections.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RemotePier(gateway={self.gateway_address}, "
+                f"nodes={self.num_nodes}, dht={self.config.get('dht')!r})")
+
+
+__all__ = ["GatewayConnection", "RemoteExecutor", "RemotePier"]

@@ -1,0 +1,218 @@
+"""End-to-end: a localhost TCP cluster answers queries row-identically.
+
+Boots 4 real ``python -m repro.node`` processes on loopback sockets, loads
+the Figure-3 join workload through :class:`repro.remote.RemotePier`, runs
+joins and an aggregation through the unmodified :class:`repro.client.
+PierClient`, and checks the result rows are byte-identical to the same
+workload executed under the discrete-event simulator.
+
+Every test runs under a hard SIGALRM wall-clock guard: a hang in the real
+transport must fail the suite, not stall it.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import JoinStrategy, PierNetwork, SimulationConfig
+from repro.exceptions import NetworkError
+from repro.remote import RemotePier
+from repro.workloads import JoinWorkload, WorkloadConfig
+
+NUM_NODES = 4
+WORKLOAD = WorkloadConfig(num_nodes=NUM_NODES, s_tuples_per_node=4, seed=11)
+AGGREGATE_SQL = "SELECT R.num1, count(*) AS cnt FROM R GROUP BY R.num1"
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+BOOT_DEADLINE_S = 60.0
+TEST_BUDGET_S = 180  # SIGALRM guard per test (pytest-timeout is not installed)
+
+
+def canonical(rows):
+    """Order-independent, hashable view of a result row set."""
+    return sorted(tuple(sorted(row.items())) for row in rows)
+
+
+def free_ports(count):
+    sockets = [socket.socket() for _ in range(count)]
+    try:
+        for sock in sockets:
+            sock.bind(("127.0.0.1", 0))
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def workload():
+    return JoinWorkload(WORKLOAD)
+
+
+@functools.lru_cache(maxsize=None)
+def simulator_rows(dht, sql, strategy, collection_window_s=None):
+    """Reference result: the identical workload under the simulator."""
+    wl = workload()
+    pier = PierNetwork(SimulationConfig(num_nodes=NUM_NODES, dht=dht))
+    pier.load_relation(wl.r_relation, wl.r_by_node)
+    pier.load_relation(wl.s_relation, wl.s_by_node)
+    client = pier.client(node=0, catalog=wl.catalog())
+    options = {}
+    if collection_window_s is not None:
+        options["collection_window_s"] = collection_window_s
+    cursor = client.sql(sql, strategy=strategy, **options)
+    rows = cursor.fetchall()
+    return canonical(rows)
+
+
+@pytest.fixture(autouse=True)
+def wall_clock_guard():
+    """Hard per-test timeout: kill the test, not the CI job."""
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"real-transport test exceeded {TEST_BUDGET_S}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(TEST_BUDGET_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class Cluster:
+    """A subprocess cluster plus the RemotePier session driving it."""
+
+    def __init__(self, num_nodes, dht):
+        self.dht = dht
+        self.processes = []
+        self.pier = None
+        ports = free_ports(num_nodes)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        common = [sys.executable, "-m", "repro.node", "--sweep-period", "2.0"]
+        self._spawn(common + ["--listen", f"127.0.0.1:{ports[0]}",
+                              "--nodes", str(num_nodes), "--dht", dht], env)
+        for port in ports[1:]:
+            self._spawn(common + ["--listen", f"127.0.0.1:{port}",
+                                  "--join", f"127.0.0.1:{ports[0]}"], env)
+        deadline = time.monotonic() + BOOT_DEADLINE_S
+        while True:
+            try:
+                self.pier = RemotePier.connect("127.0.0.1", ports[0])
+                break
+            except (OSError, NetworkError):
+                if any(proc.poll() is not None for proc in self.processes):
+                    self.stop()
+                    raise RuntimeError("a node process died during boot")
+                if time.monotonic() >= deadline:
+                    self.stop()
+                    raise RuntimeError("cluster did not become ready in time")
+                time.sleep(0.3)
+        wl = workload()
+        self.pier.load_relation(wl.r_relation, wl.r_by_node)
+        self.pier.load_relation(wl.s_relation, wl.s_by_node)
+
+    def _spawn(self, argv, env):
+        self.processes.append(subprocess.Popen(
+            argv, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        ))
+
+    def client(self, **options):
+        return self.pier.client(catalog=workload().catalog(), **options)
+
+    def stop(self):
+        if self.pier is not None:
+            try:
+                self.pier.shutdown_cluster()
+            except (NetworkError, OSError):
+                pass
+            self.pier.close()
+        for proc in self.processes:
+            proc.terminate()
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+@pytest.fixture(scope="module")
+def can_cluster():
+    cluster = Cluster(NUM_NODES, "can")
+    yield cluster
+    cluster.stop()
+
+
+@pytest.fixture(scope="module")
+def chord_cluster():
+    cluster = Cluster(NUM_NODES, "chord")
+    yield cluster
+    cluster.stop()
+
+
+def run_join(cluster, strategy):
+    wl = workload()
+    expected = simulator_rows(cluster.dht, wl.sql_text(), strategy)
+    cursor = cluster.client().sql(wl.sql_text(), strategy=strategy)
+    rows = cursor.fetch(len(expected))
+    cursor.cancel()
+    return expected, canonical(rows)
+
+
+def test_cluster_membership(can_cluster):
+    pier = can_cluster.pier
+    assert pier.num_nodes == NUM_NODES
+    assert sorted(pier.endpoints) == list(range(NUM_NODES))
+    assert pier.config["dht"] == "can"
+
+
+def test_fast_load_places_every_row(can_cluster):
+    wl = workload()
+    pier = can_cluster.pier
+    assert pier.scan_count(wl.r_relation.namespace) == sum(
+        len(rows) for rows in wl.r_by_node.values())
+    assert pier.scan_count(wl.s_relation.namespace) == sum(
+        len(rows) for rows in wl.s_by_node.values())
+
+
+def test_symmetric_hash_join_matches_simulator(can_cluster):
+    expected, actual = run_join(can_cluster, JoinStrategy.SYMMETRIC_HASH)
+    assert len(expected) > 0
+    assert actual == expected
+
+
+def test_fetch_matches_join_matches_simulator(can_cluster):
+    # FETCH_MATCHES exercises the DHT get/reply request path over TCP.
+    expected, actual = run_join(can_cluster, JoinStrategy.FETCH_MATCHES)
+    assert len(expected) > 0
+    assert actual == expected
+
+
+def test_aggregation_matches_simulator(can_cluster):
+    wl = workload()
+    expected = simulator_rows("can", AGGREGATE_SQL, JoinStrategy.SYMMETRIC_HASH,
+                              collection_window_s=1.0)
+    groups = {row["num1"] for rows in wl.r_by_node.values() for row in rows}
+    assert len(expected) == len(groups)
+    cursor = can_cluster.client().sql(AGGREGATE_SQL,
+                                      strategy=JoinStrategy.SYMMETRIC_HASH,
+                                      collection_window_s=1.0)
+    rows = cursor.fetch(len(expected))
+    cursor.cancel()
+    assert canonical(rows) == expected
+
+
+def test_chord_join_matches_simulator(chord_cluster):
+    expected, actual = run_join(chord_cluster, JoinStrategy.SYMMETRIC_HASH)
+    assert len(expected) > 0
+    assert actual == expected
