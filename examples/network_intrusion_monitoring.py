@@ -10,6 +10,14 @@ the ``PierClient`` session API, the three queries of Section 2.1:
 2. a summary of widespread attacks (GROUP BY fingerprint HAVING cnt > 10);
 3. the same summary weighted by each reporter's reputation.
 
+Two approximate queries follow, answered by the mergeable-sketch
+subsystem through the same aggregation tree: the number of distinct
+attacking source addresses (``APPROX COUNT(DISTINCT ...)`` over a
+HyperLogLog) and the most-scanned ports (``APPROX_TOP_K`` over a
+count-min sketch).  Each node ships a constant-size sketch instead of
+its raw value set, so these scale to monitoring populations where the
+exact answers would flood the tree root.
+
 The join queries use ``strategy="auto"`` (the client default): the
 cost-based optimizer picks the physical join strategy from the statistics
 published alongside the relations.
@@ -40,6 +48,16 @@ WEIGHTED_SUMMARY_SQL = """
     WHERE R.address = I.address
     GROUP BY I.fingerprint
     HAVING wcnt > 10
+"""
+
+DISTINCT_SOURCES_SQL = """
+    SELECT APPROX COUNT(DISTINCT I.address) AS sources
+    FROM intrusions I
+"""
+
+TOP_SCANNED_PORTS_SQL = """
+    SELECT APPROX_TOP_K(I.port, 5) AS ports
+    FROM intrusions I
 """
 
 
@@ -76,6 +94,22 @@ def main() -> None:
     print(f"  optimizer picked: {cursor.query.strategy.value}")
     print(format_table("weighted counts (top 10, wcnt > 10)", rows,
                        columns=["I.fingerprint", "wcnt"]))
+
+    print("\n=== Query 4: distinct attacking sources (HyperLogLog) ===")
+    rows = client.sql(DISTINCT_SOURCES_SQL,
+                      hierarchical_aggregation=True).fetchall()
+    estimate = rows[0]["sources"]
+    truth = len({row["address"]
+                 for rows_ in workload.intrusions_by_node.values()
+                 for row in rows_})
+    print(f"  approx distinct sources: {estimate}  (exact: {truth})")
+
+    print("\n=== Query 5: most-scanned ports (count-min top-k) ===")
+    rows = client.sql(TOP_SCANNED_PORTS_SQL).fetchall()
+    port_rows = [{"port": port, "reports": count}
+                 for port, count in rows[0]["ports"]]
+    print(format_table("top 5 scanned ports", port_rows,
+                       columns=["port", "reports"]))
 
 
 if __name__ == "__main__":

@@ -71,8 +71,6 @@ QUERY_MESSAGE_BYTES = 400
 TEARDOWN_MESSAGE_BYTES = 50
 #: Wire size of one aggregation result row shipped to the initiator.
 AGG_RESULT_ROW_BYTES = 64
-#: Wire size of one shipped partial-aggregate record.
-PARTIAL_STATE_BYTES = 48
 #: How long a node remembers that a query was finished, so a teardown that
 #: overtakes its own query flood still suppresses the late-arriving query.
 FINISHED_MARKER_TTL_S = 600.0
@@ -132,7 +130,10 @@ class QueryHandle:
         if query.is_aggregation and not query.distributed_aggregation:
             final = GroupByAggregate(
                 group_by=query.group_by,
-                aggregates=[(a.function, a.column, a.alias) for a in query.aggregates],
+                aggregates=[
+                    (a.function, a.column, a.alias, getattr(a, "param", None))
+                    for a in query.aggregates
+                ],
                 having=None,
             )
             final.push_many(self.rows)
@@ -209,6 +210,10 @@ class QueryExecutor:
         self.stats = StatsRegistry()
         self._states: Dict[int, _NodeQueryState] = {}
         self._handles: Dict[int, QueryHandle] = {}
+        #: query_id -> {"level0": bytes, "level1": bytes}: partial-aggregate
+        #: bytes this node shipped into the aggregation tree (benchmarks read
+        #: these to trace exact-vs-sketch payload growth; popped at teardown).
+        self.agg_bytes: Dict[int, Dict[str, int]] = {}
         #: query_id -> teardown time, so late query floods are suppressed.
         self._finished: Dict[int, float] = {}
         provider.on_multicast(QUERY_NAMESPACE, self._on_query_multicast)
@@ -901,7 +906,10 @@ class QueryExecutor:
         alias = node.params["alias"]
         partial = GroupByAggregate(
             group_by=query.group_by,
-            aggregates=[(a.function, a.column, a.alias) for a in query.aggregates],
+            aggregates=[
+                (a.function, a.column, a.alias, getattr(a, "param", None))
+                for a in query.aggregates
+            ],
             having=None,  # HAVING is applied only after partials are merged.
             name=f"PartialAgg({alias})",
         )
@@ -915,24 +923,33 @@ class QueryExecutor:
         else:
             partial.push_many(qualify(alias, row) for row in rows)
         payloads = partial.partial_payloads()
+        sizes = partial.partial_sizes()
         if query.hierarchical_aggregation:
-            bucket = aggregation_tree.combiner_bucket(self.node.address, query.query_id)
+            branching = getattr(query, "aggregation_branching", None)
+            bucket = aggregation_tree.combiner_bucket(
+                self.node.address, query.query_id,
+                **({"branching": branching} if branching else {}),
+            )
             entries = [
                 (aggregation_tree.level1_resource_id(bucket, group_key),
-                 {"group": group_key, "partials": states, "level": 1})
+                 {"group": group_key, "partials": states, "level": 1},
+                 None, sizes[group_key])
                 for group_key, states in payloads.items()
             ]
+            level = "level1"
         else:
             entries = [
                 (aggregation_tree.level0_resource_id(group_key),
-                 {"group": group_key, "partials": states, "level": 0})
+                 {"group": group_key, "partials": states, "level": 0},
+                 None, sizes[group_key])
                 for group_key, states in payloads.items()
             ]
+            level = "level0"
         if entries:
             self.provider.put_batch(
-                namespace, entries,
-                lifetime=query.temp_lifetime_s, item_bytes=PARTIAL_STATE_BYTES,
+                namespace, entries, lifetime=query.temp_lifetime_s,
             )
+            self._count_agg_bytes(query.query_id, level, sizes.values())
 
     def _flush_combiners(self, query: QuerySpec) -> None:
         """Level-1 combiners merge what they received and forward level-0 partials."""
@@ -948,18 +965,23 @@ class QueryExecutor:
                 merger = build_final_aggregation(query)
                 combined[group_key] = merger
             merger.merge_partial(group_key, value["partials"])
-        entries = [
-            (aggregation_tree.level0_resource_id(group_key),
-             {"group": group_key,
-              "partials": merger.partial_payloads()[group_key],
-              "level": 0})
-            for group_key, merger in combined.items()
-        ]
+        entries = []
+        shipped_sizes = []
+        for group_key, merger in combined.items():
+            size = merger.partial_sizes()[group_key]
+            entries.append(
+                (aggregation_tree.level0_resource_id(group_key),
+                 {"group": group_key,
+                  "partials": merger.partial_payloads()[group_key],
+                  "level": 0},
+                 None, size)
+            )
+            shipped_sizes.append(size)
         if entries:
             self.provider.put_batch(
-                namespace, entries,
-                lifetime=query.temp_lifetime_s, item_bytes=PARTIAL_STATE_BYTES,
+                namespace, entries, lifetime=query.temp_lifetime_s,
             )
+            self._count_agg_bytes(query.query_id, "level0", shipped_sizes)
 
     def _flush_aggregation(self, query: QuerySpec) -> None:
         """Group owners merge level-0 partials, apply HAVING and report."""
@@ -976,6 +998,11 @@ class QueryExecutor:
             return
         rows = finalize_aggregation_rows(query, final)
         self._send_results(query, rows, bytes_per_row=AGG_RESULT_ROW_BYTES)
+
+    def _count_agg_bytes(self, query_id: int, level: str, sizes) -> None:
+        """Account partial-aggregate bytes this node shipped for ``query_id``."""
+        counters = self.agg_bytes.setdefault(query_id, {"level0": 0, "level1": 0})
+        counters[level] += sum(sizes)
 
     # ------------------------------------------------------------ timer nodes
 
@@ -1004,6 +1031,7 @@ class QueryExecutor:
         """
         state = self._states.pop(query_id, None)
         self._handles.pop(query_id, None)
+        self.agg_bytes.pop(query_id, None)
         if state is None:
             return False
         # Per-node cardinality feedback: keep what this node's scans saw.

@@ -19,13 +19,27 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.expressions import Expression
 from repro.core.operators.base import Operator, Row
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, SketchError
+from repro.sketches import (
+    DEFAULT_LOG2M,
+    HyperLogLog,
+    KLLSketch,
+    TopKSketch,
+    sketch_from_bytes,
+    sketch_to_bytes,
+)
 
 
 class AggregateState:
     """Base class for decomposable aggregate states."""
 
     name = "aggregate"
+
+    @classmethod
+    def create(cls, param: Any = None) -> "AggregateState":
+        """Instantiate a fresh state; ``param`` configures parameterised
+        aggregates (``APPROX_TOP_K``'s ``k``...) and is ignored otherwise."""
+        return cls()
 
     def add(self, value: Any) -> None:
         """Accumulate a single input value."""
@@ -47,6 +61,15 @@ class AggregateState:
     def from_payload(cls, payload: Tuple) -> "AggregateState":
         """Rebuild a partial state from :meth:`to_payload` output."""
         raise NotImplementedError
+
+    def payload_bytes(self) -> int:
+        """Approximate wire size of :meth:`to_payload` output.
+
+        Constant for the classic scalar states; sketch states report their
+        (fixed) serialised size and the exact-distinct state its growing
+        value set, so shipped partials are billed honestly.
+        """
+        return 16
 
 
 class CountState(AggregateState):
@@ -189,6 +212,168 @@ class MaxState(AggregateState):
         return cls(payload[1])
 
 
+class CountDistinctState(AggregateState):
+    """Exact ``COUNT(DISTINCT column)`` — the partial is the value set itself.
+
+    The whole point of the sketch states below: this partial *grows with the
+    input cardinality*, so every distinct value is shipped up the
+    aggregation tree.  Kept as the exact baseline the benchmarks and the
+    "when to prefer exact" guidance compare against.
+    """
+
+    name = "count_distinct"
+
+    def __init__(self, values=None):
+        self.values = set(values or ())
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        try:
+            self.values.add(value)
+        except TypeError:
+            pass  # unhashable values carry no distinct information
+
+    def merge(self, other: "CountDistinctState") -> None:
+        self.values |= other.values
+
+    def result(self) -> int:
+        return len(self.values)
+
+    def to_payload(self) -> Tuple:
+        return ("count_distinct", tuple(self.values))
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "CountDistinctState":
+        return cls(payload[1])
+
+    def payload_bytes(self) -> int:
+        return 16 + sum(_value_wire_bytes(value) for value in self.values)
+
+
+class ApproxCountDistinctState(AggregateState):
+    """``APPROX COUNT(DISTINCT column)`` over a HyperLogLog partial.
+
+    ``param`` is the HLL ``log2m`` accuracy/size knob (default 12: 4 KiB
+    per partial, ~1.6 % standard error) — constant in input cardinality.
+    """
+
+    name = "approx_count_distinct"
+
+    def __init__(self, sketch: Optional[HyperLogLog] = None):
+        self.sketch = sketch if sketch is not None else HyperLogLog()
+
+    @classmethod
+    def create(cls, param: Any = None) -> "ApproxCountDistinctState":
+        log2m = DEFAULT_LOG2M if param is None else int(param)
+        return cls(HyperLogLog(log2m=log2m))
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.sketch.add(value)
+
+    def merge(self, other: "ApproxCountDistinctState") -> None:
+        self.sketch.merge(other.sketch)
+
+    def result(self) -> int:
+        return int(round(self.sketch.estimate()))
+
+    def to_payload(self) -> Tuple:
+        return ("approx_count_distinct", sketch_to_bytes(self.sketch))
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "ApproxCountDistinctState":
+        return cls(sketch_from_bytes(payload[1]))
+
+    def payload_bytes(self) -> int:
+        return 24 + self.sketch.payload_bound()
+
+
+class ApproxTopKState(AggregateState):
+    """``APPROX_TOP_K(column, k)``: heavy hitters via count-min + heap.
+
+    The result value is a tuple of ``(value, estimated_count)`` pairs,
+    heaviest first.
+    """
+
+    name = "approx_top_k"
+
+    def __init__(self, sketch: Optional[TopKSketch] = None):
+        self.sketch = sketch if sketch is not None else TopKSketch()
+
+    @classmethod
+    def create(cls, param: Any = None) -> "ApproxTopKState":
+        k = 10 if param is None else param
+        if float(k) != int(float(k)) or int(float(k)) <= 0:
+            raise QueryError(f"approx_top_k needs a positive integer k, got {k!r}")
+        return cls(TopKSketch(k=int(float(k))))
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.sketch.add(value)
+
+    def merge(self, other: "ApproxTopKState") -> None:
+        self.sketch.merge(other.sketch)
+
+    def result(self) -> Tuple:
+        return tuple(self.sketch.estimate())
+
+    def to_payload(self) -> Tuple:
+        return ("approx_top_k", sketch_to_bytes(self.sketch))
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "ApproxTopKState":
+        return cls(sketch_from_bytes(payload[1]))
+
+    def payload_bytes(self) -> int:
+        return 24 + self.sketch.payload_bound()
+
+
+class ApproxPercentileState(AggregateState):
+    """``APPROX_PERCENTILE(column, p)`` over a KLL quantile partial.
+
+    Non-numeric inputs are skipped (like ``sum`` over them would fail, the
+    sketch simply carries no information about them); ``None`` is skipped
+    like every other aggregate.
+    """
+
+    name = "approx_percentile"
+
+    def __init__(self, sketch: Optional[KLLSketch] = None, p: float = 0.5):
+        self.sketch = sketch if sketch is not None else KLLSketch()
+        self.p = p
+
+    @classmethod
+    def create(cls, param: Any = None) -> "ApproxPercentileState":
+        p = 0.5 if param is None else float(param)
+        if not 0.0 <= p <= 1.0:
+            raise QueryError(f"approx_percentile needs p in [0, 1], got {p!r}")
+        return cls(p=p)
+
+    def add(self, value: Any) -> None:
+        if value is None or isinstance(value, bool):
+            return
+        if not isinstance(value, (int, float)):
+            return
+        self.sketch.add(value)
+
+    def merge(self, other: "ApproxPercentileState") -> None:
+        self.sketch.merge(other.sketch)
+
+    def result(self) -> Optional[float]:
+        return self.sketch.quantile(self.p)
+
+    def to_payload(self) -> Tuple:
+        return ("approx_percentile", sketch_to_bytes(self.sketch), self.p)
+
+    @classmethod
+    def from_payload(cls, payload: Tuple) -> "ApproxPercentileState":
+        return cls(sketch_from_bytes(payload[1]), payload[2])
+
+    def payload_bytes(self) -> int:
+        return 24 + self.sketch.payload_bound()
+
+
 #: Registry of supported aggregate functions.
 AGGREGATE_FUNCTIONS = {
     "count": CountState,
@@ -196,18 +381,41 @@ AGGREGATE_FUNCTIONS = {
     "avg": AvgState,
     "min": MinState,
     "max": MaxState,
+    "count_distinct": CountDistinctState,
+    "approx_count_distinct": ApproxCountDistinctState,
+    "approx_top_k": ApproxTopKState,
+    "approx_percentile": ApproxPercentileState,
+}
+
+#: Aggregates taking a second (literal) SQL argument, and what it means.
+PARAMETERIZED_AGGREGATES = {
+    "approx_top_k": "k",
+    "approx_percentile": "p",
 }
 
 
-def make_aggregate(function: str) -> AggregateState:
+def _value_wire_bytes(value: Any) -> int:
+    """Rough wire size of one raw value inside an exact-distinct partial."""
+    if isinstance(value, str):
+        return 6 + len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return 6 + len(value)
+    return 9  # ints, floats, bools, None: one msgpack scalar
+
+
+def make_aggregate(function: str, param: Any = None) -> AggregateState:
     """Instantiate a fresh aggregate state by function name."""
     try:
-        return AGGREGATE_FUNCTIONS[function.lower()]()
+        cls = AGGREGATE_FUNCTIONS[function.lower()]
     except KeyError:
         raise QueryError(
             f"unsupported aggregate function {function!r}; "
             f"expected one of {sorted(AGGREGATE_FUNCTIONS)}"
         ) from None
+    try:
+        return cls.create(param)
+    except SketchError as error:
+        raise QueryError(str(error)) from error
 
 
 def state_from_payload(payload: Tuple) -> AggregateState:
@@ -227,8 +435,10 @@ class GroupByAggregate(Operator):
     group_by:
         Columns to group on (empty list → a single global group).
     aggregates:
-        List of ``(function, column, alias)`` triples; ``column`` is ``None``
-        for ``count(*)``.
+        List of ``(function, column, alias)`` triples or ``(function,
+        column, alias, param)`` quadruples; ``column`` is ``None`` for
+        ``count(*)`` and ``param`` configures parameterised aggregates
+        (``approx_top_k``'s ``k``, ``approx_percentile``'s ``p``).
     having:
         Optional predicate over the output row (group columns + aliases).
     """
@@ -236,15 +446,21 @@ class GroupByAggregate(Operator):
     def __init__(
         self,
         group_by: Sequence[str],
-        aggregates: Sequence[Tuple[str, Optional[str], str]],
+        aggregates: Sequence[Tuple],
         having: Optional[Expression] = None,
         name: Optional[str] = None,
     ):
         super().__init__(name or "GroupByAggregate")
         self.group_by = list(group_by)
-        self.aggregates = list(aggregates)
+        self.aggregates = [self._normalize(spec) for spec in aggregates]
         self.having = having
         self._groups: Dict[Tuple, List[AggregateState]] = {}
+
+    @staticmethod
+    def _normalize(spec: Tuple) -> Tuple[str, Optional[str], str, Any]:
+        """Accept 3-tuples (legacy) or 4-tuples (with a parameter)."""
+        param = spec[3] if len(spec) > 3 else None
+        return (spec[0], spec[1], spec[2], param)
 
     def _group_key(self, row: Row) -> Tuple:
         try:
@@ -254,12 +470,15 @@ class GroupByAggregate(Operator):
 
     def _states_for(self, key: Tuple) -> List[AggregateState]:
         if key not in self._groups:
-            self._groups[key] = [make_aggregate(function) for function, _column, _alias in self.aggregates]
+            self._groups[key] = [
+                make_aggregate(function, param)
+                for function, _column, _alias, param in self.aggregates
+            ]
         return self._groups[key]
 
     def process(self, row: Row) -> None:
         states = self._states_for(self._group_key(row))
-        for state, (_function, column, _alias) in zip(states, self.aggregates):
+        for state, (_function, column, _alias, _param) in zip(states, self.aggregates):
             value = 1 if column is None else row.get(column)
             state.add(value)
 
@@ -288,12 +507,26 @@ class GroupByAggregate(Operator):
             for key, states in self._groups.items()
         }
 
+    def partial_sizes(self) -> Dict[Tuple, int]:
+        """Honest wire size per group's shipped partial record.
+
+        ``32`` covers the envelope (group key, level marker, resourceID);
+        each state contributes its own payload size — constant for the
+        classic and sketch states, growing with cardinality for the exact
+        distinct state.  The benchmarks' bytes-to-root accounting and the
+        simulator's bandwidth model both consume this.
+        """
+        return {
+            key: 32 + sum(state.payload_bytes() for state in states)
+            for key, states in self._groups.items()
+        }
+
     def result_rows(self) -> List[Row]:
         """Finalised output rows (group columns + aggregate aliases)."""
         rows = []
         for key, states in self._groups.items():
             row: Row = dict(zip(self.group_by, key))
-            for state, (_function, _column, alias) in zip(states, self.aggregates):
+            for state, (_function, _column, alias, _param) in zip(states, self.aggregates):
                 row[alias] = state.result()
             if self.having is None or self.having.evaluate(row):
                 rows.append(row)

@@ -49,7 +49,10 @@ def build_final_aggregation(query: QuerySpec) -> GroupByAggregate:
     """
     return GroupByAggregate(
         group_by=query.group_by,
-        aggregates=[(a.function, a.column, a.alias) for a in query.aggregates],
+        aggregates=[
+            (a.function, a.column, a.alias, getattr(a, "param", None))
+            for a in query.aggregates
+        ],
         having=None,
         name="FinalAgg",
     )

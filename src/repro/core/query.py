@@ -117,11 +117,17 @@ class JoinClause:
 
 @dataclass(frozen=True)
 class AggregateSpec:
-    """One aggregate in the SELECT list: ``function(column) AS alias``."""
+    """One aggregate in the SELECT list: ``function(column) AS alias``.
+
+    ``param`` carries the literal second argument of parameterised
+    aggregates — ``APPROX_TOP_K(x, k)``'s ``k``, ``APPROX_PERCENTILE(x,
+    p)``'s ``p`` — and stays ``None`` for the classic single-argument ones.
+    """
 
     function: str
     column: Optional[str]
     alias: str
+    param: Optional[float] = None
 
 
 @dataclass
@@ -155,6 +161,10 @@ class QuerySpec:
     #: Use the hierarchical in-network aggregation extension instead of flat
     #: hash grouping (ablation of the paper's future-work discussion).
     hierarchical_aggregation: bool = False
+    #: Number of level-1 combiner buckets for hierarchical aggregation
+    #: (``None`` → :data:`repro.core.aggregation_tree.DEFAULT_BRANCHING`).
+    #: The sketch benchmarks sweep this to trace bytes-to-root curves.
+    aggregation_branching: Optional[int] = None
     #: Initiator-side cap on delivered result rows (SQL ``LIMIT n``).  The
     #: limit is enforced by the :class:`repro.client.ResultCursor`, which
     #: stops delivering rows and cancels the dataflow once satisfied.

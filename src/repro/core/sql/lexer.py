@@ -10,7 +10,7 @@ from repro.exceptions import SQLSyntaxError
 #: Keywords recognised by the parser (case-insensitive).
 KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS",
-    "AND", "OR", "NOT", "ORDER", "LIMIT",
+    "AND", "OR", "NOT", "ORDER", "LIMIT", "APPROX", "DISTINCT",
 }
 
 #: Multi-character operators, checked before single-character ones.

@@ -23,7 +23,10 @@ from repro.core.expressions import (
     Not,
     Or,
 )
-from repro.core.operators.aggregate import AGGREGATE_FUNCTIONS
+from repro.core.operators.aggregate import (
+    AGGREGATE_FUNCTIONS,
+    PARAMETERIZED_AGGREGATES,
+)
 from repro.core.sql.lexer import SQLLexer, Token
 from repro.exceptions import SQLSyntaxError
 
@@ -34,6 +37,7 @@ class AggregateCall(Expression):
 
     function: str
     column: Optional[str]  # None means ``*``
+    param: Optional[float] = None  # second argument of parameterized aggregates
 
     def evaluate(self, row):  # pragma: no cover - aggregates never evaluate directly
         raise SQLSyntaxError("aggregate calls cannot be evaluated per row")
@@ -244,6 +248,15 @@ class _Parser:
 
     def parse_primary(self) -> Expression:
         token = self.peek()
+        if token.matches("keyword", "APPROX"):
+            self.advance()
+            name = self.expect("identifier").value
+            if not self.peek().matches("operator", "("):
+                raise SQLSyntaxError(
+                    f"APPROX must prefix an aggregate call, found bare "
+                    f"{name!r} at position {token.position}"
+                )
+            return self.parse_call(name, approx=True)
         if token.kind == "number":
             self.advance()
             text = token.value
@@ -271,9 +284,25 @@ class _Parser:
             return ColumnRef(f"{name}.{column}")
         return ColumnRef(name)
 
-    def parse_call(self, name: str) -> Expression:
+    def parse_call(self, name: str, approx: bool = False) -> Expression:
         self.expect("operator", "(")
         lowered = name.lower()
+        if self.peek().matches("keyword", "DISTINCT"):
+            distinct = self.advance()
+            if lowered != "count":
+                raise SQLSyntaxError(
+                    f"DISTINCT is only supported inside COUNT(), not {name}() "
+                    f"at position {distinct.position}"
+                )
+            column = self.parse_column_name()
+            self.expect("operator", ")")
+            function = "approx_count_distinct" if approx else "count_distinct"
+            return AggregateCall(function, column)
+        if approx:
+            raise SQLSyntaxError(
+                f"APPROX prefixes COUNT(DISTINCT column) only; call "
+                f"approx_top_k()/approx_percentile() directly, not APPROX {name}()"
+            )
         if self.peek().matches("operator", "*"):
             self.advance()
             self.expect("operator", ")")
@@ -286,6 +315,19 @@ class _Parser:
             while self.accept("operator", ","):
                 arguments.append(self.parse_expression())
         self.expect("operator", ")")
+        if lowered in PARAMETERIZED_AGGREGATES:
+            param_name = PARAMETERIZED_AGGREGATES[lowered]
+            if (
+                len(arguments) != 2
+                or not isinstance(arguments[0], ColumnRef)
+                or not isinstance(arguments[1], Literal)
+                or isinstance(arguments[1].value, (bool, str))
+            ):
+                raise SQLSyntaxError(
+                    f"aggregate {name}() takes (column, {param_name}) "
+                    f"with a numeric literal {param_name}"
+                )
+            return AggregateCall(lowered, arguments[0].name, arguments[1].value)
         if lowered in AGGREGATE_FUNCTIONS:
             if len(arguments) != 1 or not isinstance(arguments[0], ColumnRef):
                 raise SQLSyntaxError(

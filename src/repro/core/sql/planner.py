@@ -80,7 +80,9 @@ class SQLPlanner:
                     self._qualify_column(expression.column, aliases)
                     if expression.column else None
                 )
-                aggregates.append(AggregateSpec(expression.function, column, alias))
+                aggregates.append(
+                    AggregateSpec(expression.function, column, alias, expression.param)
+                )
                 continue
             if self._contains_aggregate(expression):
                 alias = item.alias or f"expr_{next(counter)}"
@@ -288,10 +290,14 @@ class SQLPlanner:
                 if expression.column else None
             )
             for existing in aggregates:
-                if existing.function == expression.function and existing.column == column:
+                if (existing.function == expression.function
+                        and existing.column == column
+                        and getattr(existing, "param", None) == expression.param):
                     return ColumnRef(existing.alias)
             alias = f"{expression.function}_{next(counter)}"
-            aggregates.append(AggregateSpec(expression.function, column, alias))
+            aggregates.append(
+                AggregateSpec(expression.function, column, alias, expression.param)
+            )
             return ColumnRef(alias)
         if isinstance(expression, Comparison):
             return Comparison(

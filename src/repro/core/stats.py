@@ -25,8 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from repro.sketches import HyperLogLog
+
 #: DHT namespace holding published statistics (alongside ``__catalog__``).
 STATS_NAMESPACE = "__pier_stats__"
+#: Register count (``2**log2m``) of the per-column distinct-count sketches
+#: carried by published statistics: 1024 registers ≈ 3 % standard error,
+#: and small domains stay exact via HLL's linear-counting range.
+STATS_HLL_LOG2M = 10
 #: Lifetime of published statistics entries; like catalog entries they are
 #: small and matter more than ordinary data, but unlike catalog entries they
 #: go stale as data churns, so they live shorter than the catalog.
@@ -66,6 +72,10 @@ class ColumnStats:
     distinct: int = 0
     min_value: Optional[float] = None
     max_value: Optional[float] = None
+    #: Distinct-count sketch over the same values, so merging partials with
+    #: overlapping domains unions instead of adding (legacy partials without
+    #: one fall back to the additive merge).
+    hll: Optional[HyperLogLog] = None
 
     @classmethod
     def from_values(cls, values: Iterable[Any]) -> "ColumnStats":
@@ -73,15 +83,17 @@ class ColumnStats:
         seen = set()
         low: Optional[float] = None
         high: Optional[float] = None
+        hll = HyperLogLog(log2m=STATS_HLL_LOG2M)
         for value in values:
             try:
                 seen.add(value)
             except TypeError:
                 continue  # unhashable values carry no distinct information
+            hll.add(value)
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 low = value if low is None else min(low, value)
                 high = value if high is None else max(high, value)
-        return cls(distinct=len(seen), min_value=low, max_value=high)
+        return cls(distinct=len(seen), min_value=low, max_value=high, hll=hll)
 
     @property
     def width(self) -> Optional[float]:
@@ -93,17 +105,35 @@ class ColumnStats:
     def merge(self, other: "ColumnStats") -> "ColumnStats":
         """Combine two partials (different publishers of one relation).
 
-        Distinct counts of disjoint partitions add; overlapping domains make
-        the sum an overestimate, so integer ranges cap it at the merged
-        domain width.
+        When both sides carry an HLL sketch, the union sketch estimates the
+        merged distinct count directly — overlapping domains no longer
+        double-count.  Legacy partials without a sketch fall back to the
+        additive merge, where overlap makes the sum an overestimate and
+        integer ranges cap it at the merged domain width.
         """
-        distinct = self.distinct + other.distinct
         low = _opt_min(self.min_value, other.min_value)
         high = _opt_max(self.max_value, other.max_value)
+        self_hll = getattr(self, "hll", None)
+        other_hll = getattr(other, "hll", None)
+        merged_hll: Optional[HyperLogLog] = None
+        if (self_hll is not None and other_hll is not None
+                and self_hll.log2m == other_hll.log2m
+                and self_hll.seed == other_hll.seed):
+            merged_hll = self_hll.copy()
+            merged_hll.merge(other_hll)
+            # The union estimate can never be below the larger side's exact
+            # partial count.
+            distinct = max(
+                int(round(merged_hll.estimate())),
+                self.distinct, other.distinct,
+            )
+        else:
+            distinct = self.distinct + other.distinct
         if (low is not None and high is not None
                 and float(low).is_integer() and float(high).is_integer()):
             distinct = min(distinct, int(high) - int(low) + 1)
-        return ColumnStats(distinct=distinct, min_value=low, max_value=high)
+        return ColumnStats(distinct=distinct, min_value=low, max_value=high,
+                           hll=merged_hll)
 
 
 def _opt_min(a: Optional[float], b: Optional[float]) -> Optional[float]:
@@ -188,6 +218,17 @@ class RelationStats:
     def scaled(self, cardinality: int) -> "RelationStats":
         """The same distribution re-scaled to an observed cardinality."""
         return replace(self, cardinality=max(0, int(cardinality)))
+
+    def wire_bytes(self) -> int:
+        """Approximate published size: the scalar envelope plus the columns'
+        distinct-count sketches (honest accounting now that statistics items
+        carry HLL registers)."""
+        sketch_bytes = sum(
+            stats.hll.payload_bound()
+            for stats in self.columns.values()
+            if getattr(stats, "hll", None) is not None
+        )
+        return STATS_ITEM_BYTES + sketch_bytes
 
 
 @dataclass
@@ -340,7 +381,7 @@ class StatsRegistry:
             instance_id = self._published.get(resource_id)
             instance_id = provider.put(
                 STATS_NAMESPACE, resource_id, instance_id, stats,
-                lifetime=lifetime, item_bytes=STATS_ITEM_BYTES,
+                lifetime=lifetime, item_bytes=stats.wire_bytes(),
             )
             self._published[resource_id] = instance_id
             published += 1

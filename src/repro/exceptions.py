@@ -41,6 +41,10 @@ class NamespaceError(DHTError):
     """Raised when an operation references an unknown or invalid namespace."""
 
 
+class SketchError(PierError):
+    """Raised for invalid sketch configurations, payloads or merges."""
+
+
 class QueryError(PierError):
     """Base class for query-processing failures."""
 

@@ -23,6 +23,7 @@ code  type        payload
 4     bigint      big-endian two's-complement bytes (128-bit DHT keys)
 5     enum        packed ``[module, qualname, value]``
 6     object      packed ``[module, qualname, state-map]``
+7     sketch      tagged :mod:`repro.sketches` codec bytes
 ====  ==========  =====================================================
 
 Objects are captured reflectively (``__dict__`` plus ``__slots__``) and
@@ -45,8 +46,9 @@ import struct
 from enum import Enum
 from typing import Any, Callable, Dict, Tuple, Type
 
-from repro.exceptions import NetworkError
+from repro.exceptions import NetworkError, SketchError
 from repro.net.message import Message
+from repro.sketches import SketchBase, sketch_from_bytes, sketch_to_bytes
 
 #: Frames larger than this are rejected outright (oversized-frame guard):
 #: nothing legitimate in this system approaches it, and a corrupt length
@@ -59,6 +61,7 @@ _EXT_FROZENSET = 3
 _EXT_BIGINT = 4
 _EXT_ENUM = 5
 _EXT_OBJECT = 6
+_EXT_SKETCH = 7
 
 #: Only classes from these package roots may be instantiated by the decoder.
 _TRUSTED_ROOTS = ("repro.",)
@@ -128,6 +131,11 @@ class _Packer:
             self._pack_ext(_EXT_SET, pack(sorted(value, key=repr)))
         elif type(value) is frozenset:
             self._pack_ext(_EXT_FROZENSET, pack(sorted(value, key=repr)))
+        elif isinstance(value, SketchBase):
+            try:
+                self._pack_ext(_EXT_SKETCH, sketch_to_bytes(value))
+            except SketchError as exc:
+                raise WireError(f"unserialisable sketch: {exc}") from exc
         elif isinstance(value, Enum):
             self._pack_ext(_EXT_ENUM, pack([
                 type(value).__module__, type(value).__qualname__, value.value,
@@ -344,6 +352,11 @@ class _Unpacker:
             for name, value in state.items():
                 object.__setattr__(instance, name, value)
             return instance
+        if code == _EXT_SKETCH:
+            try:
+                return sketch_from_bytes(payload)
+            except SketchError as exc:
+                raise WireError(f"malformed sketch payload: {exc}") from exc
         raise WireError(f"unknown wire ext type {code}")
 
 

@@ -1,0 +1,145 @@
+"""HyperLogLog: fixed-size distinct counting (``APPROX COUNT(DISTINCT x)``).
+
+The classic Flajolet et al. estimator: ``m = 2**log2m`` one-byte registers,
+each holding the maximum leading-zero rank observed among the hashed values
+routed to it.  Union is a register-wise ``max``, which is exactly
+commutative, associative and idempotent — merging N nodes' sketches yields
+*bit-identical* registers to a single sketch over the concatenated stream,
+so the estimate is independent of tree shape, merge order and transport.
+
+Standard error is ``1.04 / sqrt(m)`` — about 1.6 % at the default
+``log2m = 12`` (4 KiB of registers), comfortably inside the 2 % target the
+acceptance gate checks at 10^5 distinct values.  Small cardinalities use
+linear counting over the number of untouched registers, which is near-exact
+when the register file is mostly empty.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any, Optional
+
+from repro.exceptions import SketchError
+from repro.sketches.base import (
+    DEFAULT_SEED,
+    SketchBase,
+    hash64,
+    register_sketch,
+)
+
+#: Default register-count exponent: 4096 registers, ~1.6 % standard error.
+DEFAULT_LOG2M = 12
+MIN_LOG2M = 4
+MAX_LOG2M = 18
+
+
+def _alpha(m: int) -> float:
+    if m >= 128:
+        return 0.7213 / (1.0 + 1.079 / m)
+    if m >= 64:
+        return 0.709
+    if m >= 32:
+        return 0.697
+    return 0.673
+
+
+@register_sketch
+class HyperLogLog(SketchBase):
+    """Mergeable distinct-count sketch with a fixed register file."""
+
+    WIRE_TAG = 1
+
+    __slots__ = ("log2m", "seed", "registers")
+
+    def __init__(self, log2m: int = DEFAULT_LOG2M, seed: int = DEFAULT_SEED,
+                 registers: Optional[bytearray] = None):
+        log2m = int(log2m)
+        if not MIN_LOG2M <= log2m <= MAX_LOG2M:
+            raise SketchError(
+                f"log2m must be in {MIN_LOG2M}..{MAX_LOG2M}, got {log2m}"
+            )
+        self.log2m = log2m
+        self.seed = int(seed)
+        m = 1 << log2m
+        if registers is None:
+            registers = bytearray(m)
+        elif len(registers) != m:
+            raise SketchError(
+                f"register file of {len(registers)} bytes does not match "
+                f"log2m={log2m}"
+            )
+        self.registers = bytearray(registers)
+
+    # ------------------------------------------------------------------ algebra
+
+    def add(self, value: Any) -> None:
+        self.add_hash(hash64(value, self.seed))
+
+    def add_hash(self, hashed: int) -> None:
+        """Absorb a pre-computed :func:`repro.sketches.hash64` value."""
+        shift = 64 - self.log2m
+        index = hashed >> shift
+        tail = hashed & ((1 << shift) - 1)
+        rank = shift - tail.bit_length() + 1
+        if self.registers[index] < rank:
+            self.registers[index] = rank
+
+    def merge(self, other: "HyperLogLog") -> None:
+        self._require_compatible(other, "log2m", "seed")
+        mine = self.registers
+        theirs = other.registers
+        for index, rank in enumerate(theirs):
+            if mine[index] < rank:
+                mine[index] = rank
+
+    def estimate(self) -> float:
+        m = 1 << self.log2m
+        total = 0.0
+        zeros = 0
+        for rank in self.registers:
+            total += 2.0 ** -rank
+            if rank == 0:
+                zeros += 1
+        raw = _alpha(m) * m * m / total
+        if raw <= 2.5 * m and zeros:
+            return m * math.log(m / zeros)  # linear counting (small range)
+        return raw
+
+    def copy(self) -> "HyperLogLog":
+        return HyperLogLog(self.log2m, self.seed, bytearray(self.registers))
+
+    # -------------------------------------------------------------------- codec
+
+    def to_payload(self) -> bytes:
+        return struct.pack(">BQ", self.log2m, self.seed) + bytes(self.registers)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "HyperLogLog":
+        if len(payload) < 9:
+            raise SketchError("truncated HyperLogLog payload")
+        log2m, seed = struct.unpack_from(">BQ", payload)
+        if not MIN_LOG2M <= log2m <= MAX_LOG2M:
+            raise SketchError(f"HyperLogLog payload declares invalid log2m={log2m}")
+        registers = payload[9:]
+        if len(registers) != 1 << log2m:
+            raise SketchError(
+                f"HyperLogLog payload of {len(registers)} registers does not "
+                f"match log2m={log2m}"
+            )
+        return cls(log2m, seed, bytearray(registers))
+
+    def payload_bound(self) -> int:
+        return 9 + (1 << self.log2m)
+
+    # ------------------------------------------------------------------- dunder
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HyperLogLog):
+            return NotImplemented
+        return (self.log2m == other.log2m and self.seed == other.seed
+                and self.registers == other.registers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HyperLogLog(log2m={self.log2m}, "
+                f"estimate~{self.estimate():.0f})")

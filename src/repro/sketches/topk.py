@@ -1,0 +1,193 @@
+"""Count-min sketch + candidate heap: heavy hitters (``APPROX_TOP_K(x, k)``).
+
+A ``depth × width`` grid of counters, each row indexed by an independently
+seeded :func:`repro.sketches.hash64`; a value's frequency estimate is the
+minimum of its ``depth`` counters (over-estimates only, never under).  The
+counter grid merges by entry-wise addition, so the merged grid is exactly
+the grid of the concatenated stream — like the HLL registers, it is
+independent of merge order.
+
+Count-min alone answers point queries; to *enumerate* the heavy hitters each
+sketch also carries a bounded candidate set (the classic "heap" companion):
+every added value is remembered with its current estimate, and when the set
+overflows its fixed capacity (``max(32, 4k)``) the smallest candidates are
+evicted.  ``merge`` unions the candidate sets and re-scores every candidate
+against the merged grid, so a value that is locally light but globally heavy
+survives as long as *some* partial kept it.  Ties break on the canonical
+value encoding, keeping results deterministic across nodes and backends.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import SketchError
+from repro.sketches.base import (
+    DEFAULT_SEED,
+    SketchBase,
+    decode_value,
+    encode_value,
+    hash64,
+    register_sketch,
+)
+
+DEFAULT_K = 10
+DEFAULT_WIDTH = 512
+DEFAULT_DEPTH = 4
+MAX_WIDTH = 1 << 16
+MAX_DEPTH = 16
+#: Row-seed spacing (a 64-bit odd constant, splitmix64's increment).
+_ROW_SEED_STEP = 0x9E3779B97F4A7C15
+
+
+@register_sketch
+class TopKSketch(SketchBase):
+    """Mergeable heavy-hitter sketch: count-min grid + bounded candidates."""
+
+    WIRE_TAG = 2
+
+    __slots__ = ("k", "width", "depth", "seed", "rows", "candidates")
+
+    def __init__(self, k: int = DEFAULT_K, width: int = DEFAULT_WIDTH,
+                 depth: int = DEFAULT_DEPTH, seed: int = DEFAULT_SEED,
+                 rows: Optional[List[List[int]]] = None,
+                 candidates: Optional[Dict[Any, int]] = None):
+        k, width, depth = int(k), int(width), int(depth)
+        if k <= 0:
+            raise SketchError(f"top-k needs k >= 1, got {k}")
+        if not 1 <= width <= MAX_WIDTH or not 1 <= depth <= MAX_DEPTH:
+            raise SketchError(
+                f"count-min dimensions out of range: width={width}, depth={depth}"
+            )
+        self.k = k
+        self.width = width
+        self.depth = depth
+        self.seed = int(seed)
+        if rows is None:
+            rows = [[0] * width for _ in range(depth)]
+        self.rows = rows
+        self.candidates = dict(candidates or {})
+
+    @property
+    def capacity(self) -> int:
+        """Fixed bound on the candidate set (independent of stream length)."""
+        return max(32, 4 * self.k)
+
+    # ------------------------------------------------------------------ algebra
+
+    def _row_seed(self, row: int) -> int:
+        return (self.seed + (row + 1) * _ROW_SEED_STEP) & 0xFFFFFFFFFFFFFFFF
+
+    def add(self, value: Any, count: int = 1) -> None:
+        if count <= 0:
+            return
+        estimate = None
+        for row in range(self.depth):
+            index = hash64(value, self._row_seed(row)) % self.width
+            counters = self.rows[row]
+            counters[index] += count
+            if estimate is None or counters[index] < estimate:
+                estimate = counters[index]
+        self.candidates[value] = estimate
+        self._trim()
+
+    def point(self, value: Any) -> int:
+        """Frequency estimate of one value (an upper bound on the truth)."""
+        estimate = None
+        for row in range(self.depth):
+            index = hash64(value, self._row_seed(row)) % self.width
+            count = self.rows[row][index]
+            if estimate is None or count < estimate:
+                estimate = count
+        return estimate or 0
+
+    def merge(self, other: "TopKSketch") -> None:
+        self._require_compatible(other, "k", "width", "depth", "seed")
+        for mine, theirs in zip(self.rows, other.rows):
+            for index, count in enumerate(theirs):
+                if count:
+                    mine[index] += count
+        # Union the candidate sets and re-score against the merged grid.
+        union = set(self.candidates) | set(other.candidates)
+        self.candidates = {value: self.point(value) for value in union}
+        self._trim()
+
+    def _trim(self) -> None:
+        capacity = self.capacity
+        if len(self.candidates) <= capacity:
+            return
+        ordered = sorted(
+            self.candidates.items(),
+            key=lambda item: (-item[1], encode_value(item[0])),
+        )
+        self.candidates = dict(ordered[:capacity])
+
+    def estimate(self) -> List[Tuple[Any, int]]:
+        """The ``k`` heaviest candidates as ``(value, count)`` pairs."""
+        ordered = sorted(
+            self.candidates.items(),
+            key=lambda item: (-item[1], encode_value(item[0])),
+        )
+        return [(value, count) for value, count in ordered[:self.k]]
+
+    # -------------------------------------------------------------------- codec
+
+    def to_payload(self) -> bytes:
+        parts = [struct.pack(">IHHQ", self.k, self.width, self.depth, self.seed)]
+        for counters in self.rows:
+            parts.append(struct.pack(f">{self.width}Q", *counters))
+        parts.append(struct.pack(">H", len(self.candidates)))
+        for value, count in self.candidates.items():
+            encoded = encode_value(value)
+            parts.append(struct.pack(">HQ", len(encoded), count))
+            parts.append(encoded)
+        return b"".join(parts)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "TopKSketch":
+        try:
+            k, width, depth, seed = struct.unpack_from(">IHHQ", payload)
+        except struct.error:
+            raise SketchError("truncated TopKSketch payload") from None
+        if not 1 <= width <= MAX_WIDTH or not 1 <= depth <= MAX_DEPTH or k <= 0:
+            raise SketchError(
+                f"TopKSketch payload declares invalid dimensions "
+                f"k={k}, width={width}, depth={depth}"
+            )
+        offset = 16
+        rows = []
+        try:
+            for _ in range(depth):
+                rows.append(list(struct.unpack_from(f">{width}Q", payload, offset)))
+                offset += 8 * width
+            (count,) = struct.unpack_from(">H", payload, offset)
+            offset += 2
+            candidates: Dict[Any, int] = {}
+            for _ in range(count):
+                length, estimate = struct.unpack_from(">HQ", payload, offset)
+                offset += 10
+                encoded = payload[offset:offset + length]
+                if len(encoded) != length:
+                    raise SketchError("truncated TopKSketch candidate")
+                offset += length
+                candidates[decode_value(encoded)] = estimate
+        except struct.error:
+            raise SketchError("truncated TopKSketch payload") from None
+        if offset != len(payload):
+            raise SketchError("trailing bytes in TopKSketch payload")
+        return cls(k, width, depth, seed, rows, candidates)
+
+    # ------------------------------------------------------------------- dunder
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopKSketch):
+            return NotImplemented
+        return (self.k == other.k and self.width == other.width
+                and self.depth == other.depth and self.seed == other.seed
+                and self.rows == other.rows
+                and self.candidates == other.candidates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TopKSketch(k={self.k}, width={self.width}, "
+                f"depth={self.depth}, candidates={len(self.candidates)})")

@@ -212,6 +212,25 @@ def test_aggregation_matches_simulator(can_cluster):
     assert canonical(rows) == expected
 
 
+def test_approx_aggregation_matches_simulator(can_cluster):
+    """The shared-seed HLL makes the estimate deterministic: the real TCP
+    cluster must produce row-identical APPROX results to the simulator."""
+    sql = "SELECT APPROX COUNT(DISTINCT R.num1) AS d FROM R"
+    expected = simulator_rows("can", sql, JoinStrategy.SYMMETRIC_HASH,
+                              collection_window_s=1.0)
+    assert len(expected) == 1
+    wl = workload()
+    truth = len({row["num1"] for rows in wl.r_by_node.values() for row in rows})
+    (((_, estimate),),) = expected
+    assert abs(estimate - truth) / truth <= 0.02
+    cursor = can_cluster.client().sql(sql,
+                                      strategy=JoinStrategy.SYMMETRIC_HASH,
+                                      collection_window_s=1.0)
+    rows = cursor.fetch(len(expected))
+    cursor.cancel()
+    assert canonical(rows) == expected
+
+
 def test_chord_join_matches_simulator(chord_cluster):
     expected, actual = run_join(chord_cluster, JoinStrategy.SYMMETRIC_HASH)
     assert len(expected) > 0

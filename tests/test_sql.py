@@ -127,6 +127,51 @@ def test_parse_errors_are_reported():
         parse_sql("SELECT f(*) FROM R")  # star arg only for aggregates
 
 
+# ----------------------------------------------------- approximate aggregates
+
+
+def test_parse_approx_count_distinct():
+    statement = parse_sql("SELECT APPROX COUNT(DISTINCT R.num1) AS d FROM R")
+    aggregate = statement.select_items[0].expression
+    assert isinstance(aggregate, AggregateCall)
+    assert aggregate.function == "approx_count_distinct"
+    assert aggregate.column == "R.num1"
+    assert aggregate.param is None
+
+
+def test_parse_exact_count_distinct():
+    statement = parse_sql("SELECT COUNT(DISTINCT R.num1) AS d FROM R")
+    aggregate = statement.select_items[0].expression
+    assert aggregate.function == "count_distinct"
+    assert aggregate.column == "R.num1"
+
+
+def test_parse_parameterized_approx_aggregates():
+    statement = parse_sql(
+        "SELECT APPROX_TOP_K(I.port, 5) AS top, "
+        "APPROX_PERCENTILE(I.port, 0.9) AS p90 FROM intrusions I"
+    )
+    top = statement.select_items[0].expression
+    assert top.function == "approx_top_k"
+    assert top.column == "I.port" and top.param == 5
+    p90 = statement.select_items[1].expression
+    assert p90.function == "approx_percentile"
+    assert p90.column == "I.port" and p90.param == pytest.approx(0.9)
+
+
+def test_parse_approx_rejects_bad_forms():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT SUM(DISTINCT R.num1) FROM R")  # DISTINCT ∉ COUNT
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT APPROX SUM(R.num1) FROM R")  # no approx variant
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT APPROX FROM R")  # bare keyword
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT APPROX_TOP_K(R.num1, 'five') FROM R")  # non-numeric
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT APPROX_TOP_K(R.num1) FROM R")  # missing parameter
+
+
 # ------------------------------------------------------------------- planner
 
 
@@ -212,6 +257,20 @@ def test_planner_having_with_direct_aggregate_reference():
     # The HAVING aggregate is unified with the SELECT aggregate.
     assert len(query.aggregates) == 1
     assert query.having is not None
+
+
+def test_planner_carries_sketch_params_into_aggregate_specs():
+    planner = SQLPlanner(monitoring_catalog())
+    query = planner.plan_sql(
+        "SELECT APPROX COUNT(DISTINCT I.address) AS d, "
+        "APPROX_TOP_K(I.port, 4) AS top FROM intrusions I"
+    )
+    assert query.distributed_aggregation
+    by_alias = {spec.alias: spec for spec in query.aggregates}
+    assert by_alias["d"].function == "approx_count_distinct"
+    assert by_alias["d"].param is None
+    assert by_alias["top"].function == "approx_top_k"
+    assert by_alias["top"].param == 4
 
 
 def test_planner_passes_query_options_through():

@@ -56,6 +56,44 @@ def test_column_stats_merge_caps_distinct_at_integer_domain():
     assert merged.min_value == 0 and merged.max_value == 5
 
 
+def test_column_stats_merge_unions_overlapping_string_domains():
+    """String domains have no min/max cap, so pre-HLL merges double-counted
+    any overlap.  The HLL union sees through it: 50 + 50 values sharing 25
+    must merge to ~75 distinct, not 100."""
+    left = ColumnStats.from_values([f"v{i}" for i in range(50)])
+    right = ColumnStats.from_values([f"v{i}" for i in range(25, 75)])
+    merged = left.merge(right)
+    assert merged.hll is not None
+    assert max(left.distinct, right.distinct) <= merged.distinct <= 82
+    assert abs(merged.distinct - 75) <= 7
+
+
+def test_column_stats_merge_without_hll_falls_back_to_sum():
+    """Partials published by pre-sketch nodes carry no HLL; merging with
+    them keeps the legacy sum-of-distincts behaviour."""
+    legacy = ColumnStats(distinct=10)
+    fresh = ColumnStats.from_values([f"v{i}" for i in range(20)])
+    merged = legacy.merge(fresh)
+    assert merged.distinct == 30
+    assert merged.hll is None
+    merged_other_way = fresh.merge(legacy)
+    assert merged_other_way.distinct == 30
+    assert merged_other_way.hll is None
+
+
+def test_relation_stats_wire_bytes_include_hll_payloads():
+    relation = make_relation()
+    stats = RelationStats.from_rows(relation, rows_for(range(10)))
+    baseline = 96  # STATS_ITEM_BYTES
+    assert stats.wire_bytes() > baseline
+    per_column = sum(
+        column.hll.payload_bound()
+        for column in stats.columns.values()
+        if column.hll is not None
+    )
+    assert stats.wire_bytes() == baseline + per_column
+
+
 # ------------------------------------------------------------ relation stats
 
 

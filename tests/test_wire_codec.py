@@ -183,6 +183,72 @@ def test_relation_stats_roundtrip():
     assert wire_message("prov.put", {"value": stats}).payload["value"] == stats
 
 
+def test_sketch_ext_roundtrips():
+    from repro.sketches import HyperLogLog, KLLSketch, TopKSketch
+
+    hll = HyperLogLog(log2m=8)
+    topk = TopKSketch(k=3, width=64, depth=2)
+    kll = KLLSketch(k=16)
+    for i in range(200):
+        hll.add(i)
+        topk.add(i % 7)
+        kll.add(float(i))
+    for sketch in (hll, topk, kll):
+        restored = roundtrip(sketch)
+        assert type(restored) is type(sketch)
+        assert restored == sketch
+    # Sketches nested inside shipped partial payloads survive, too.
+    payload = {"group": (), "partials": [("approx_count_distinct", hll)],
+               "level": 0}
+    restored = wire_message("prov.put", {"value": payload}).payload["value"]
+    assert restored["partials"][0][1] == hll
+
+
+def test_malformed_sketch_payload_rejected():
+    from repro.sketches import HyperLogLog
+
+    blob = pack(HyperLogLog(log2m=4))
+    # Corrupt the declared log2m inside the ext payload: decoder must refuse
+    # (WireError, not a silent wrong sketch).
+    corrupted = bytearray(blob)
+    # ext header: 0xC7/0xC8 length code | ... type tag (1) | log2m byte
+    tag_index = corrupted.index(7) + 1  # ext code 7, next byte is WIRE_TAG
+    assert corrupted[tag_index] == 1
+    corrupted[tag_index + 1] = 99  # log2m far out of range
+    with pytest.raises(WireError):
+        unpack(bytes(corrupted))
+    # Unknown sketch wire tag is refused the same way.
+    corrupted = bytearray(blob)
+    corrupted[tag_index] = 200
+    with pytest.raises(WireError):
+        unpack(bytes(corrupted))
+
+
+def test_oversized_sketch_guarded_per_type():
+    """Every registered sketch type rejects payloads whose declared
+    dimensions exceed its limits, before allocating them."""
+    import struct as _struct
+
+    from repro.net.wire import _EXT_SKETCH  # noqa: PLC2701 - deliberate
+    from repro.sketches import MAX_SKETCH_BYTES, SKETCH_TYPES
+
+    def as_ext(body: bytes) -> bytes:
+        return _struct.pack(">BIb", 0xC9, len(body), _EXT_SKETCH) + body
+
+    oversized = {
+        1: _struct.pack(">BQ", 40, 0),            # HLL log2m=40
+        2: _struct.pack(">IHHQ", 5, 0xFFFF + 0, 200, 0),  # CM depth=200
+        3: _struct.pack(">IQBB", 16, 0, 0, 1) + _struct.pack(">I", 2**31),
+    }
+    assert set(oversized) == set(SKETCH_TYPES)
+    for tag, body in oversized.items():
+        with pytest.raises(WireError):
+            unpack(as_ext(bytes([tag]) + body))
+    # And the blanket byte ceiling holds regardless of type.
+    with pytest.raises(WireError):
+        unpack(as_ext(bytes([1]) + b"\x00" * (MAX_SKETCH_BYTES + 1)))
+
+
 def test_bloom_filter_roundtrip():
     bloom = BloomFilter(num_bits=512, num_hashes=3)
     for value in range(50):
