@@ -194,6 +194,9 @@ class ResultCursor:
     def _collect_completeness(self) -> CompletenessReport:
         report = CompletenessReport(query_id=self.query_id,
                                     result_rows=self.handle.result_count)
+        collect = getattr(self._pier, "collect_completeness", None)
+        if collect is not None:  # real cluster: aggregate over the gateway RPC
+            return collect(report, build_opgraph(self.query).temp_namespaces())
         providers = getattr(self._pier, "providers", None)
         executors = getattr(self._pier, "executors", None)
         if not providers:  # stubbed deployments: report what the handle knows

@@ -256,6 +256,9 @@ class RoutingLayer(ABC):
     def mark_neighbor_dead(self, address: int) -> None:
         """Record a detected neighbour failure (no-op by default)."""
 
+    def mark_neighbor_alive(self, address: int) -> None:
+        """Clear a previously-detected neighbour failure (no-op by default)."""
+
     def rebind(self, node: Node) -> "RoutingLayer":
         """Move this routing layer (tables intact) onto another node.
 

@@ -872,6 +872,22 @@ class Provider:
 
     # ----------------------------------------------------------------- admin
 
+    def rebind_routing(self, routing: RoutingLayer) -> None:
+        """Point this Provider at a rebuilt routing layer (live membership).
+
+        When a real node folds a join/leave into its overlay it rebuilds
+        the deterministic routing tables over the new address list and
+        rebinds the fresh layer onto the same node; this swaps the
+        Provider's (and its multicast service's) routing reference and
+        re-wires the item-migration hooks onto the new layer.  Pending
+        gets keep their bookkeeping — their replies, bounces and timeout
+        timers all resolve through the node, not the routing layer.
+        """
+        self.routing = routing
+        self.multicast_service.routing = routing
+        routing.extract_items = self.storage.extract
+        routing.install_items = self.storage.install
+
     def make_renewal_agent(self, refresh_period: float) -> RenewalAgent:
         """Create (but do not start) a renewal agent bound to this Provider."""
         return RenewalAgent(provider=self, refresh_period=refresh_period)

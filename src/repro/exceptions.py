@@ -25,6 +25,34 @@ class NodeUnreachableError(NetworkError):
     """Raised when a message is addressed to a failed or unknown node."""
 
 
+class GatewayError(NetworkError):
+    """A gateway RPC was rejected with a structured error frame.
+
+    ``code`` is the machine-readable error class carried in the frame
+    (``"not_ready"``, ``"unknown_namespace"``, ``"internal"``, ...);
+    subclasses pin it so clients can catch the specific condition.
+    """
+
+    code = "internal"
+
+    def __init__(self, message: str, code: str = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class NodeNotReadyError(GatewayError):
+    """An operation reached a node whose overlay is still assembling."""
+
+    code = "not_ready"
+
+
+class UnknownNamespaceError(GatewayError):
+    """A submitted query references a namespace no cluster node has data for."""
+
+    code = "unknown_namespace"
+
+
 class DHTError(PierError):
     """Base class for DHT-layer failures."""
 

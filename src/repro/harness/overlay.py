@@ -12,6 +12,13 @@ and rebinds it onto its socket-backed node
 simulator harness starts measurements only after stabilisation — the paper
 likewise measures "after the CAN routing stabilizes".
 
+The same determinism powers *live* membership: when a node joins or
+leaves, every member applies the new address list by re-running
+``build_local_routing`` and rebinding, then migrates the stored items
+whose ownership moved (see ``repro.node``).  No distributed stabilisation
+protocol is needed — agreement on the address list (the membership epoch)
+implies agreement on ownership.
+
 :class:`OwnerLocator` exposes the same determinism to clients: given the
 cluster's DHT parameters it maps any ``(namespace, resourceID)`` to the
 owning address without touching the network, which is what lets a remote
@@ -84,18 +91,28 @@ class OwnerLocator:
     """Client-side ``(namespace, resourceID) → owner address`` resolution.
 
     Wraps a locally-built stabilised overlay over the cluster's address
-    list; never sends a message.  Valid for the cluster's lifetime because
-    real clusters here have fixed membership after bootstrap (churn over the
-    real transport routes around failures via bounces instead of remapping
-    ownership).
+    list; never sends a message.  Ownership is valid for one membership
+    *epoch*: when nodes join or leave, every member deterministically
+    rebuilds the overlay over the new address list, so a client must call
+    :meth:`rebuild` (see :meth:`repro.remote.RemotePier.refresh_membership`)
+    with the refreshed membership to keep placing tuples correctly.
+    Crash failures do *not* remap ownership — the cluster routes around a
+    dead node via bounces and detection, exactly like the simulator.
     """
 
     def __init__(self, addresses: Sequence[int], dht: str = "can",
                  can_dimensions: int = 2, seed: int = 0):
-        self.addresses = sorted(int(a) for a in addresses)
         self.dht = dht
+        self.can_dimensions = can_dimensions
+        self.seed = seed
+        self.rebuild(addresses)
+
+    def rebuild(self, addresses: Sequence[int]) -> None:
+        """Recompute ownership over a new membership address list."""
+        self.addresses = sorted(int(a) for a in addresses)
         stand_in = _StandInCluster(self.addresses)
-        self.builder = make_builder(dht, can_dimensions=can_dimensions, seed=seed)
+        self.builder = make_builder(self.dht, can_dimensions=self.can_dimensions,
+                                    seed=self.seed)
         self.builder.build_stabilized(stand_in, addresses=self.addresses)
 
     def owner_of_key(self, key: int) -> int:

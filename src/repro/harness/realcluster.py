@@ -1,0 +1,229 @@
+"""Boot and manage localhost subprocess clusters: :class:`LocalCluster`.
+
+The real-transport tests and the churn benchmarks all need the same
+scaffolding: spawn ``python -m repro.node`` processes on loopback ports,
+wait for the overlay to assemble, map overlay addresses back onto ports and
+processes, and then *perturb* the cluster — dynamic joins, graceful
+leaves, and ``kill -9`` mid-query.  This module is that scaffolding, kept
+in the library (not the test tree) so benchmarks, tests and demos share
+one implementation.
+
+The address↔process map matters because joiners are assigned overlay
+addresses in *arrival* order, which is nondeterministic across process
+startup: after boot the cluster asks every port for its ``status`` to
+learn which process ended up with which address, and :meth:`kill` /
+:meth:`local_scan_count` operate on addresses from then on.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.exceptions import NetworkError
+from repro.remote import GatewayConnection, RemotePier
+
+#: How long a cluster may take to assemble before boot fails.
+BOOT_DEADLINE_S = 60.0
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def free_ports(count: int) -> List[int]:
+    """Reserve ``count`` distinct free loopback ports (best effort)."""
+    sockets = [socket.socket() for _ in range(count)]
+    try:
+        for sock in sockets:
+            sock.bind(("127.0.0.1", 0))
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class LocalCluster:
+    """A killable localhost cluster of ``python -m repro.node`` processes.
+
+    Parameters mirror the node CLI; the heartbeat/suspicion/request-timeout
+    knobs exist so churn tests can compress the paper's 15 s detection
+    delay into CI-friendly wall clock (see ``benchmarks/bench_real_churn``
+    for the exact simulator↔real mapping).
+    """
+
+    def __init__(self, num_nodes: int, dht: str = "can", seed: int = 0,
+                 sweep_period_s: float = 2.0,
+                 heartbeat_period_s: Optional[float] = None,
+                 suspicion_timeout_s: Optional[float] = None,
+                 request_timeout_s: Optional[float] = None,
+                 capture_logs: bool = False):
+        self.dht = dht
+        self.num_nodes = num_nodes
+        self.ports: List[int] = free_ports(num_nodes)
+        self.processes: List[subprocess.Popen] = []
+        self.pier: Optional[RemotePier] = None
+        #: overlay address -> loopback port / process, resolved after boot.
+        self.port_of: Dict[int, int] = {}
+        self.proc_of: Dict[int, subprocess.Popen] = {}
+        self.killed: set = set()
+        self._capture = subprocess.PIPE if capture_logs else subprocess.DEVNULL
+        self._env = dict(os.environ)
+        self._env["PYTHONPATH"] = (_SRC_DIR + os.pathsep
+                                   + self._env.get("PYTHONPATH", ""))
+        self._common = [sys.executable, "-m", "repro.node",
+                        "--sweep-period", str(sweep_period_s)]
+        if heartbeat_period_s is not None:
+            self._common += ["--heartbeat-period", str(heartbeat_period_s)]
+        if suspicion_timeout_s is not None:
+            self._common += ["--suspicion-timeout", str(suspicion_timeout_s)]
+        if request_timeout_s is not None:
+            self._common += ["--request-timeout", str(request_timeout_s)]
+        self._spawn(self._common
+                    + ["--listen", f"127.0.0.1:{self.ports[0]}",
+                       "--nodes", str(num_nodes),
+                       "--dht", dht, "--seed", str(seed)])
+        for port in self.ports[1:]:
+            self._spawn(self._common
+                        + ["--listen", f"127.0.0.1:{port}",
+                           "--join", f"127.0.0.1:{self.ports[0]}"])
+
+    def _spawn(self, argv: List[str]) -> subprocess.Popen:
+        proc = subprocess.Popen(argv, env=self._env,
+                                stdout=subprocess.DEVNULL,
+                                stderr=self._capture)
+        self.processes.append(proc)
+        return proc
+
+    # -------------------------------------------------------------- lifecycle
+
+    def connect(self, deadline_s: float = BOOT_DEADLINE_S) -> RemotePier:
+        """Wait for the overlay to assemble; open the client session."""
+        deadline = time.monotonic() + deadline_s
+        while True:
+            try:
+                self.pier = RemotePier.connect("127.0.0.1", self.ports[0])
+                break
+            except (OSError, NetworkError):
+                if any(proc.poll() is not None for proc in self.processes):
+                    self.stop()
+                    raise RuntimeError("a node process died during boot")
+                if time.monotonic() >= deadline:
+                    self.stop()
+                    raise RuntimeError("cluster did not become ready in time")
+                time.sleep(0.3)
+        self._resolve_addresses()
+        return self.pier
+
+    def _resolve_addresses(self) -> None:
+        """Learn which process/port holds which overlay address."""
+        for port, proc in zip(self.ports, self.processes):
+            address = self._address_of_port(port)
+            if address is None:
+                continue
+            self.port_of[address] = port
+            self.proc_of[address] = proc
+
+    def _address_of_port(self, port: int,
+                         deadline_s: float = BOOT_DEADLINE_S) -> Optional[int]:
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            try:
+                conn = GatewayConnection("127.0.0.1", port, timeout_s=2.0)
+            except OSError:
+                time.sleep(0.2)
+                continue
+            try:
+                status = conn.rpc("status", timeout_s=2.0)
+                if status.get("ready"):
+                    return int(status["address"])
+            except (NetworkError, OSError):
+                pass
+            finally:
+                conn.close()
+            time.sleep(0.2)
+        return None
+
+    # ------------------------------------------------------------------ churn
+
+    def kill(self, address: int) -> None:
+        """``kill -9`` the process holding ``address`` (no goodbye frames)."""
+        proc = self.proc_of[address]
+        proc.kill()
+        proc.wait()
+        self.killed.add(address)
+
+    def add_node(self, via: Optional[int] = None,
+                 deadline_s: float = BOOT_DEADLINE_S) -> int:
+        """Dynamically join a fresh node through a live member.
+
+        Returns the new node's overlay address once its stack has
+        assembled and the cluster has committed the join.  The caller's
+        :class:`RemotePier` should ``refresh_membership()`` afterwards.
+        """
+        member_port = self.port_of.get(
+            via if via is not None else self._any_live_address())
+        (port,) = free_ports(1)
+        proc = self._spawn(self._common
+                           + ["--listen", f"127.0.0.1:{port}",
+                              "--join", f"127.0.0.1:{member_port}"])
+        address = self._address_of_port(port, deadline_s=deadline_s)
+        if address is None:
+            raise RuntimeError("dynamic joiner did not become ready in time")
+        self.ports.append(port)
+        self.port_of[address] = port
+        self.proc_of[address] = proc
+        return address
+
+    def _any_live_address(self) -> int:
+        for address in sorted(self.port_of):
+            if address not in self.killed:
+                return address
+        raise RuntimeError("no live node left in the cluster")
+
+    # ------------------------------------------------------------ diagnostics
+
+    def local_scan_count(self, address: int, namespace: str) -> int:
+        """Item count of ``namespace`` stored *locally* at one member."""
+        conn = GatewayConnection("127.0.0.1", self.port_of[address],
+                                 timeout_s=5.0)
+        try:
+            return conn.rpc("scan_count", namespace=namespace)["count"]
+        finally:
+            conn.close()
+
+    def live_addresses(self) -> List[int]:
+        return [a for a in sorted(self.port_of) if a not in self.killed]
+
+    # --------------------------------------------------------------- teardown
+
+    def stop(self) -> None:
+        if self.pier is not None:
+            try:
+                self.pier.shutdown_cluster()
+            except (NetworkError, OSError):
+                pass
+            self.pier.close()
+            self.pier = None
+        for proc in self.processes:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    def __enter__(self) -> "LocalCluster":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = ["BOOT_DEADLINE_S", "LocalCluster", "free_ports"]

@@ -127,14 +127,20 @@ class WallClockTimers(TimerService):
 
 
 class _Peer:
-    """Pooled outbound connection to one remote node."""
+    """Pooled outbound connection to one remote node.
 
-    __slots__ = ("endpoint", "queue", "task")
+    ``pending`` is the message the writer loop is currently trying to
+    deliver; it lives on the peer (not in a loop-local variable) so a
+    shutdown can see it and bounce it instead of silently dropping it.
+    """
+
+    __slots__ = ("endpoint", "queue", "task", "pending")
 
     def __init__(self, endpoint: Tuple[str, int]):
         self.endpoint = endpoint
         self.queue: asyncio.Queue = asyncio.Queue()
         self.task: Optional[asyncio.Task] = None
+        self.pending: Optional[Message] = None
 
 
 class RealTransport(Transport):
@@ -168,6 +174,7 @@ class RealTransport(Transport):
         #: Frame handlers for non-"msg" frame kinds (bootstrap, gateway RPC):
         #: kind -> callable(writer, frame_dict).
         self._frame_handlers: Dict[str, Callable] = {}
+        self._closing = False
         self.frames_sent = 0
         self.frames_received = 0
         self.bytes_sent = 0
@@ -203,6 +210,10 @@ class RealTransport(Transport):
 
     def send(self, message: Message) -> None:
         """Queue a message for delivery; never blocks, never raises remotely."""
+        if self._closing:
+            # A shutdown is bouncing queued frames; handlers reacting to
+            # those bounces (re-routes, retries) must not refill the pool.
+            return
         self.frames_sent += 1
         if message.dst == self.address:
             # Local sends stay asynchronous, as under the simulator: the
@@ -235,7 +246,16 @@ class RealTransport(Transport):
         return sockname[0], sockname[1]
 
     async def close(self) -> None:
-        """Stop the server and tear down every pooled connection."""
+        """Stop the server and tear down every pooled connection.
+
+        Per-peer writer tasks (including ones parked in a reconnect
+        backoff sleep) are cancelled *and awaited*, so no asyncio task
+        outlives the transport; every frame still queued or mid-retry is
+        bounced through ``deliver_bounce``, mirroring what the simulator
+        reports for messages in flight to a node that died.  Sends issued
+        by bounce handlers during the teardown are dropped.
+        """
+        self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -249,7 +269,32 @@ class RealTransport(Transport):
                 await task
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
+        for peer in self._pool.values():
+            self._drain_peer(peer)
         self._pool.clear()
+
+    def forget_peer(self, address: int) -> None:
+        """Drop the pooled connection (and address book entry) for a peer.
+
+        Used when membership changes remove a node: its writer task is
+        cancelled and any frames still queued for it bounce immediately.
+        A later send to the same address re-resolves through ``peers``.
+        """
+        self.peers.pop(address, None)
+        peer = self._pool.pop(address, None)
+        if peer is None:
+            return
+        if peer.task is not None:
+            peer.task.cancel()
+        self._drain_peer(peer)
+
+    def _drain_peer(self, peer: _Peer) -> None:
+        """Bounce the in-flight frame and everything queued behind it."""
+        if peer.pending is not None:
+            pending, peer.pending = peer.pending, None
+            self._bounce(pending)
+        while not peer.queue.empty():
+            self._bounce(peer.queue.get_nowait())
 
     # ------------------------------------------------------------- inbound
 
@@ -309,43 +354,48 @@ class RealTransport(Transport):
         writer: Optional[asyncio.StreamWriter] = None
         failures = 0
         backoff = RECONNECT_INITIAL_S
-        pending: Optional[Message] = None
-        while True:
-            if pending is None:
-                pending = await peer.queue.get()
-            if writer is None:
-                try:
-                    _reader, writer = await asyncio.open_connection(*peer.endpoint)
-                    failures = 0
-                    backoff = RECONNECT_INITIAL_S
-                except OSError:
-                    failures += 1
-                    if failures >= MAX_CONNECT_ATTEMPTS:
-                        self._bounce(pending)
-                        pending = None
-                        while not peer.queue.empty():
-                            self._bounce(peer.queue.get_nowait())
+        try:
+            while True:
+                if peer.pending is None:
+                    peer.pending = await peer.queue.get()
+                if writer is None:
+                    try:
+                        _reader, writer = await asyncio.open_connection(*peer.endpoint)
                         failures = 0
                         backoff = RECONNECT_INITIAL_S
+                    except OSError:
+                        failures += 1
+                        if failures >= MAX_CONNECT_ATTEMPTS:
+                            self._drain_peer(peer)
+                            failures = 0
+                            backoff = RECONNECT_INITIAL_S
+                            continue
+                        await asyncio.sleep(backoff)
+                        backoff = min(backoff * RECONNECT_MULTIPLIER,
+                                      RECONNECT_CAP_S)
                         continue
-                    await asyncio.sleep(backoff)
-                    backoff = min(backoff * RECONNECT_MULTIPLIER, RECONNECT_CAP_S)
-                    continue
-            try:
-                frame = encode_frame(message_to_wire(pending), self.max_frame_bytes)
-                writer.write(frame)
-                await writer.drain()
-                self.bytes_sent += len(frame)
-                pending = None
-            except (ConnectionError, OSError):
-                # Connection died mid-write: reconnect and retry this
-                # message (receivers tolerate the possible duplicate).
-                self.reconnects += 1
+                try:
+                    frame = encode_frame(message_to_wire(peer.pending),
+                                         self.max_frame_bytes)
+                    writer.write(frame)
+                    await writer.drain()
+                    self.bytes_sent += len(frame)
+                    peer.pending = None
+                except (ConnectionError, OSError):
+                    # Connection died mid-write: reconnect and retry this
+                    # message (receivers tolerate the possible duplicate).
+                    self.reconnects += 1
+                    try:
+                        writer.close()
+                    except Exception:  # noqa: BLE001
+                        pass
+                    writer = None
+        finally:
+            if writer is not None:
                 try:
                     writer.close()
                 except Exception:  # noqa: BLE001
                     pass
-                writer = None
 
     def _bounce(self, message: Message) -> None:
         """Local failure notification, mirroring the simulator's bounce."""

@@ -83,3 +83,13 @@ class Transport(ABC):
     @abstractmethod
     def send(self, message: Message) -> None:
         """Queue ``message`` for asynchronous delivery (see module docs)."""
+
+    def forget_peer(self, address: int) -> None:
+        """Release any per-peer delivery state held for ``address``.
+
+        Called by the membership layer when a node leaves the cluster for
+        good (graceful departure, confirmed permanent removal).  The
+        default is a no-op: the simulator keeps no per-peer state.  The
+        real transport drops the pooled connection and bounces frames
+        still queued for the departed peer.
+        """

@@ -39,7 +39,12 @@ from repro.core.executor import QueryHandle
 from repro.core.query import QuerySpec
 from repro.core.stats import StatsRegistry
 from repro.core.tuples import RelationDef
-from repro.exceptions import NetworkError
+from repro.exceptions import (
+    GatewayError,
+    NetworkError,
+    NodeNotReadyError,
+    UnknownNamespaceError,
+)
 from repro.harness.overlay import OwnerLocator
 from repro.net.wire import FrameDecoder, encode_frame
 
@@ -84,16 +89,24 @@ class GatewayConnection:
             response = self._responses.pop(request_id, None)
             if response is not None:
                 if not response.get("ok"):
-                    raise NetworkError(
-                        f"rpc {op!r} failed on {self.endpoint}: "
-                        f"{response.get('error')}"
-                    )
+                    raise self._error_for(op, response)
                 return response
             if time.monotonic() >= deadline:
                 raise NetworkError(
                     f"rpc {op!r} to {self.endpoint} timed out after {timeout_s}s"
                 )
             self._pump_once(deadline)
+
+    def _error_for(self, op: str, response: dict) -> NetworkError:
+        """Map a structured error frame onto the typed exception hierarchy."""
+        message = (f"rpc {op!r} failed on {self.endpoint}: "
+                   f"{response.get('error')}")
+        code = response.get("code", "internal")
+        if code == NodeNotReadyError.code:
+            return NodeNotReadyError(message)
+        if code == UnknownNamespaceError.code:
+            return UnknownNamespaceError(message)
+        return GatewayError(message, code=code)
 
     # ----------------------------------------------------------------- pump
 
@@ -173,11 +186,11 @@ class _RemoteNetwork:
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
         horizon = time.monotonic() + POLL_INTERVAL_S if until is None else until
-        self._pier.gateway.pump(horizon)
+        self._pier.pump(horizon)
         return time.monotonic()
 
     def run_until_idle(self, max_events: Optional[int] = None) -> float:
-        self._pier.gateway.pump(time.monotonic() + IDLE_GRACE_S)
+        self._pier.pump(time.monotonic() + IDLE_GRACE_S)
         return time.monotonic()
 
 
@@ -223,12 +236,16 @@ class RemotePier:
         self.gateway = gateway
         status = gateway.rpc("status")
         if not status["ready"]:
-            raise NetworkError("gateway node is not ready")
+            raise NodeNotReadyError("gateway node is not ready")
         self.gateway_address: int = status["address"]
         self.config: Dict[str, Any] = status["config"]
         self.endpoints: Dict[int, Tuple[str, int]] = {
             int(a): (e[0], int(e[1])) for a, e in status["nodes"].items()
         }
+        #: Members the cluster has confirmed dead (refreshed with status).
+        self.dead: set = set(status.get("dead", ()))
+        #: Gateways this client itself lost mid-session (failover history).
+        self._dead_gateways: set = set()
         self.locator = OwnerLocator(
             list(self.endpoints),
             dht=self.config["dht"],
@@ -255,12 +272,132 @@ class RemotePier:
         return len(self.endpoints)
 
     def executor(self, node: int) -> RemoteExecutor:
-        if node != self.gateway_address:
+        if node != self.gateway_address and node not in self._dead_gateways:
             raise NetworkError(
                 f"this session's gateway is node {self.gateway_address}; "
                 f"connect() to node {node}'s endpoint to initiate from it"
             )
-        return RemoteExecutor(self, node)
+        return RemoteExecutor(self, self.gateway_address)
+
+    # -------------------------------------------------------------- failover
+
+    def pump(self, until: float) -> int:
+        """Pump the gateway connection, failing over if the gateway died.
+
+        The drive loop's socket pump is where a crashed gateway first shows
+        up client-side (connection reset / closed / stalled).  Rather than
+        surfacing a transport error mid-query, the session re-homes onto
+        another live member: result streaming resumes there for queries it
+        participates in, and the cursor's own timeout/completeness
+        accounting reports whatever was lost.
+        """
+        try:
+            return self.gateway.pump(until)
+        except (NetworkError, OSError):
+            self.failover()
+            return 0
+
+    def failover(self) -> None:
+        """Re-home this session on another live member after a gateway loss."""
+        dead_address = self.gateway_address
+        dead_conn = self.gateway
+        self._dead_gateways.add(dead_address)
+        self._connections.pop(dead_address, None)
+        dead_conn.close()
+        for address in sorted(self.endpoints):
+            if address == dead_address or address in self._dead_gateways:
+                continue
+            if address in self.dead:
+                continue
+            host, port = self.endpoints[address]
+            try:
+                conn = GatewayConnection(host, port)
+                status = conn.rpc("status", timeout_s=2.0)
+            except (NetworkError, OSError):
+                continue
+            if not status.get("ready"):
+                conn.close()
+                continue
+            # Streamed rows for in-flight queries must keep landing in their
+            # handles; the new gateway pushes events only for queries *it*
+            # executes locally, so rows already en route die with the old
+            # gateway — that loss is what completeness reports.
+            conn.handles.update(dead_conn.handles)
+            self.gateway = conn
+            self.gateway_address = address
+            self._connections[address] = conn
+            self.dead = set(status.get("dead", ()))
+            return
+        raise NetworkError(
+            f"gateway node {dead_address} died and no other member of "
+            f"{sorted(self.endpoints)} is reachable"
+        )
+
+    def refresh_membership(self) -> None:
+        """Re-read the membership map (after joins/leaves) from the gateway.
+
+        Rebuilds the client-side owner locator over the new address list so
+        subsequent fast loads and scans place keys exactly where the
+        cluster's rebuilt overlay expects them.
+        """
+        status = self.gateway.rpc("status")
+        self.config = status["config"]
+        self.dead = set(status.get("dead", ()))
+        endpoints = {
+            int(a): (e[0], int(e[1])) for a, e in status["nodes"].items()
+        }
+        if set(endpoints) != set(self.endpoints):
+            self.locator.rebuild(list(endpoints))
+        self.endpoints = endpoints
+        for address in list(self._connections):
+            if address not in endpoints:
+                self._connections.pop(address).close()
+
+    def leave_node(self, address: int, timeout_s: float = 15.0) -> None:
+        """Ask ``address`` to leave gracefully; wait until the cluster agrees."""
+        if address == self.gateway_address:
+            raise NetworkError("refusing to leave through the session gateway; "
+                               "connect another gateway first")
+        self.connection(address).rpc("leave")
+        self._connections.pop(address, None).close()
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            self.refresh_membership()
+            if address not in self.endpoints:
+                return
+            time.sleep(0.1)
+        raise NetworkError(f"node {address} still in the membership after "
+                           f"{timeout_s}s")
+
+    def collect_completeness(self, report, temp_namespaces) -> Any:
+        """Aggregate per-node delivery accounting for one query.
+
+        The remote counterpart of the client's in-process sweep over
+        ``pier.providers`` / ``pier.executors``: every reachable member
+        reports its get scope, lost fragments and executor state.  Members
+        that died simply don't report — their absence *is* the loss, and it
+        already shows up as failed/pending gets on the survivors.
+        """
+        for address in sorted(self.endpoints):
+            if address in self.dead or address in self._dead_gateways:
+                continue
+            try:
+                part = self.connection(address).rpc(
+                    "completeness", query_id=report.query_id,
+                    namespaces=sorted(temp_namespaces), timeout_s=2.0,
+                )
+            except (NetworkError, OSError):
+                continue
+            scope = part["gets"]
+            report.gets_issued += scope["issued"]
+            report.gets_completed += scope["completed"]
+            report.gets_failed += scope["failed"]
+            report.gets_pending += scope["pending"]
+            report.fragments_lost += part["fragments_lost"]
+            if part["has_state"]:
+                report.nodes_with_state += 1
+                report.degraded_ops += part["degraded_ops"]
+        return report
 
     def connection(self, node: int) -> GatewayConnection:
         """A (cached) gateway connection to any cluster node."""
@@ -331,10 +468,11 @@ class RemotePier:
     # ------------------------------------------------------------- utilities
 
     def scan_count(self, namespace: str) -> int:
-        """Total item count of ``namespace`` across every node (diagnostics)."""
+        """Total item count of ``namespace`` across live nodes (diagnostics)."""
         return sum(
             self.connection(node).rpc("scan_count", namespace=namespace)["count"]
             for node in self.endpoints
+            if node not in self.dead and node not in self._dead_gateways
         )
 
     def client(self, catalog=None, **client_options):

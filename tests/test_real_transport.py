@@ -13,42 +13,23 @@ transport must fail the suite, not stall it.
 from __future__ import annotations
 
 import functools
-import os
 import signal
-import socket
-import subprocess
-import sys
-import time
 
 import pytest
 
 from repro import JoinStrategy, PierNetwork, SimulationConfig
-from repro.exceptions import NetworkError
-from repro.remote import RemotePier
+from repro.harness.realcluster import LocalCluster
 from repro.workloads import JoinWorkload, WorkloadConfig
 
 NUM_NODES = 4
 WORKLOAD = WorkloadConfig(num_nodes=NUM_NODES, s_tuples_per_node=4, seed=11)
 AGGREGATE_SQL = "SELECT R.num1, count(*) AS cnt FROM R GROUP BY R.num1"
-SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-BOOT_DEADLINE_S = 60.0
 TEST_BUDGET_S = 180  # SIGALRM guard per test (pytest-timeout is not installed)
 
 
 def canonical(rows):
     """Order-independent, hashable view of a result row set."""
     return sorted(tuple(sorted(row.items())) for row in rows)
-
-
-def free_ports(count):
-    sockets = [socket.socket() for _ in range(count)]
-    try:
-        for sock in sockets:
-            sock.bind(("127.0.0.1", 0))
-        return [sock.getsockname()[1] for sock in sockets]
-    finally:
-        for sock in sockets:
-            sock.close()
 
 
 def workload():
@@ -87,63 +68,18 @@ def wall_clock_guard():
         signal.signal(signal.SIGALRM, previous)
 
 
-class Cluster:
-    """A subprocess cluster plus the RemotePier session driving it."""
+class Cluster(LocalCluster):
+    """A subprocess cluster with the Figure-3 workload pre-loaded."""
 
     def __init__(self, num_nodes, dht):
-        self.dht = dht
-        self.processes = []
-        self.pier = None
-        ports = free_ports(num_nodes)
-        env = dict(os.environ)
-        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
-        common = [sys.executable, "-m", "repro.node", "--sweep-period", "2.0"]
-        self._spawn(common + ["--listen", f"127.0.0.1:{ports[0]}",
-                              "--nodes", str(num_nodes), "--dht", dht], env)
-        for port in ports[1:]:
-            self._spawn(common + ["--listen", f"127.0.0.1:{port}",
-                                  "--join", f"127.0.0.1:{ports[0]}"], env)
-        deadline = time.monotonic() + BOOT_DEADLINE_S
-        while True:
-            try:
-                self.pier = RemotePier.connect("127.0.0.1", ports[0])
-                break
-            except (OSError, NetworkError):
-                if any(proc.poll() is not None for proc in self.processes):
-                    self.stop()
-                    raise RuntimeError("a node process died during boot")
-                if time.monotonic() >= deadline:
-                    self.stop()
-                    raise RuntimeError("cluster did not become ready in time")
-                time.sleep(0.3)
+        super().__init__(num_nodes, dht=dht)
+        self.connect()
         wl = workload()
         self.pier.load_relation(wl.r_relation, wl.r_by_node)
         self.pier.load_relation(wl.s_relation, wl.s_by_node)
 
-    def _spawn(self, argv, env):
-        self.processes.append(subprocess.Popen(
-            argv, env=env,
-            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
-        ))
-
     def client(self, **options):
         return self.pier.client(catalog=workload().catalog(), **options)
-
-    def stop(self):
-        if self.pier is not None:
-            try:
-                self.pier.shutdown_cluster()
-            except (NetworkError, OSError):
-                pass
-            self.pier.close()
-        for proc in self.processes:
-            proc.terminate()
-        for proc in self.processes:
-            try:
-                proc.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                proc.kill()
-                proc.wait()
 
 
 @pytest.fixture(scope="module")
