@@ -47,11 +47,12 @@ SMOKE_NODE_CAP = 8
 _SMOKE = False
 _SEED_OVERRIDE: Optional[int] = None
 _NODES_OVERRIDE: Optional[List[int]] = None
+_PROFILE = False
 
 
 def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
     """Parse the shared benchmark CLI and record the flags module-wide."""
-    global _SMOKE, _SEED_OVERRIDE, _NODES_OVERRIDE
+    global _SMOKE, _SEED_OVERRIDE, _NODES_OVERRIDE, _PROFILE
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help=f"tiny deterministic run (node counts capped at "
@@ -61,9 +62,14 @@ def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
     parser.add_argument("--nodes", type=str, default=None,
                         help="comma-separated node counts overriding the sweep "
                              "axis of benchmarks that take one (e.g. 256,1024,4096)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run one sweep pass under cProfile and write the "
+                             "top-25 cumulative table as a JSON artifact "
+                             "(benchmarks that support it)")
     args = parser.parse_args(argv)
     _SMOKE = bool(args.smoke)
     _SEED_OVERRIDE = args.seed
+    _PROFILE = bool(args.profile)
     if args.nodes:
         try:
             counts = [int(part) for part in args.nodes.split(",") if part]
@@ -78,6 +84,11 @@ def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
 def is_smoke() -> bool:
     """Whether ``--smoke`` was passed (tiny sizes, trimmed grids)."""
     return _SMOKE
+
+
+def profile_enabled() -> bool:
+    """Whether ``--profile`` was passed (emit a cProfile artifact)."""
+    return _PROFILE
 
 
 def bench_seed(default: int) -> int:
@@ -141,6 +152,7 @@ def build_loaded_network(num_nodes: int,
                          batching: bool = True,
                          coalesce_window_s: float = 0.0,
                          compiled_rows: bool = True,
+                         columnar: bool = True,
                          ) -> tuple:
     """Build a PIER deployment with the benchmark workload loaded.
 
@@ -148,7 +160,9 @@ def build_loaded_network(num_nodes: int,
     one-message-per-item path (used for the event-reduction baseline);
     ``coalesce_window_s`` sets the network-level coalescing window (``0.0``
     merges same-instant arrivals only); ``compiled_rows=False`` selects the
-    interpreted dict-per-row pipeline (the perf-profile A/B baseline).
+    interpreted dict-per-row pipeline (the perf-profile A/B baseline);
+    ``columnar=False`` keeps the compiled pipeline but turns off columnar
+    chunk execution (the per-row compiled A/B point).
     """
     seed = bench_seed(seed)
     workload_config = dict(num_nodes=num_nodes, s_tuples_per_node=s_tuples_per_node,
@@ -164,6 +178,7 @@ def build_loaded_network(num_nodes: int,
         batching=batching,
         coalesce_window_s=coalesce_window_s,
         compiled_rows=compiled_rows,
+        columnar=columnar,
         bandwidth_bytes_per_s=None if infinite_bandwidth else (
             bandwidth_bytes_per_s if bandwidth_bytes_per_s is not None else
             SimulationConfig(num_nodes=2).bandwidth_bytes_per_s

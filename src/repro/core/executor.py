@@ -191,6 +191,7 @@ class QueryExecutor:
 
     def __init__(self, node: Node, provider: Provider,
                  compiled_rows: bool = True,
+                 columnar: bool = True,
                  failure_aware: bool = False):
         self.node = node
         self.provider = provider
@@ -199,6 +200,13 @@ class QueryExecutor:
         #: path.  All nodes of a deployment must agree: rehashed fragments
         #: are exchanged in the representation the pipeline works on.
         self.compiled_rows = compiled_rows
+        #: Whether scan chains, partial aggregation and scan sinks run the
+        #: columnar chunk kernels on top of the compiled pipeline (rows move
+        #: between operators as one array per slot; fragments still cross
+        #: the network as the compiled ``(side, slotted_row)`` pairs, so
+        #: columnar and compiled nodes interoperate).  Requires — and is
+        #: silently disabled without — ``compiled_rows``.
+        self.columnar = columnar and compiled_rows
         #: Churn deployments set this: operators arm failure fallbacks (the
         #: Bloom gate's unfiltered rehash) so lost control messages degrade
         #: recall instead of blocking the sink.  Off by default — the timers
@@ -360,7 +368,8 @@ class QueryExecutor:
         if query.query_id in self._states or query.query_id in self._finished:
             return
         self._expire_stale_states()
-        graph = build_opgraph(query, compiled=self.compiled_rows)
+        graph = build_opgraph(query, compiled=self.compiled_rows,
+                              columnar=self.columnar)
         state = _NodeQueryState(
             query=query, graph=graph, arrived_at=self.now,
             expires_at=self.now + query.temp_lifetime_s,
@@ -409,6 +418,9 @@ class QueryExecutor:
                           bloom_filter: Optional[BloomFilter] = None) -> None:
         """Run a Scan → (Filter) → (Project) chain and feed its terminal node."""
         graph = state.graph
+        if graph.columnar is not None:
+            self._run_source_chain_columnar(query, state, scan_node, bloom_filter)
+            return
         if graph.compiled is not None:
             chain = graph.compiled.chains[scan_node.op_id]
             rows = self._scan_rows_compiled(chain)
@@ -472,6 +484,140 @@ class QueryExecutor:
                 continue
             append(project(row) if project is not None else row)
         return rows
+
+    # ------------------------------------------------------- columnar chains
+
+    def _run_source_chain_columnar(self, query: QuerySpec,
+                                   state: _NodeQueryState, scan_node: OpNode,
+                                   bloom_filter: Optional[BloomFilter] = None
+                                   ) -> None:
+        """Columnar scan chain: one fused kernel call, chunks downstream.
+
+        The kernel reads the stored dicts of the local partition and returns
+        one dense chunk (columns extracted, predicate vectorized, projection
+        applied).  Terminals with chunk kernels (rehash, bloom build, partial
+        agg, sink) consume the chunk directly; fetch-matches keeps its
+        per-row compiled artifacts, so the chunk converts back to slotted
+        rows there — the chunk → row fallback.
+        """
+        graph = state.graph
+        chain = graph.columnar.chains[scan_node.op_id]
+        values = [item.value
+                  for item in self.provider.storage.scan(chain.namespace, self.now)]
+        chunk = chain.kernel(values)
+
+        alias = scan_node.params["alias"]
+        state.observed_selected[alias] = max(
+            state.observed_selected.get(alias, 0), chunk.length
+        )
+
+        terminal = chain.terminal
+        kind = terminal.kind
+        if kind is OpKind.REHASH:
+            self._run_rehash_chunk(query, state, terminal, chunk, bloom_filter)
+        elif kind is OpKind.FETCH:
+            self._run_fetch_matches(query, state, terminal, chunk.rows())
+        elif kind is OpKind.BLOOM_BUILD:
+            self._run_bloom_build_chunk(query, state, terminal, chunk)
+        elif kind is OpKind.PARTIAL_AGG:
+            self._run_partial_agg_chunk(query, state, terminal, chunk)
+        elif kind is OpKind.SINK:
+            emit = graph.columnar.sinks[terminal.op_id]
+            self._send_results(query, emit(chunk),
+                               bytes_per_row=query.result_tuple_bytes)
+        else:  # pragma: no cover - constructions only build the kinds above
+            raise PlanError(f"scan chain cannot terminate in {kind}")
+
+    def _run_rehash_chunk(self, query: QuerySpec, state: _NodeQueryState,
+                          node: OpNode, chunk,
+                          bloom_filter: Optional[BloomFilter] = None) -> int:
+        """Columnar rehash: key column read once, per-target chunk slices.
+
+        The fragments that cross the network are the same ``(side,
+        slotted_row)`` pairs the compiled path exchanges, so probes (and
+        mixed compiled/columnar deployments) are unaffected; what changes is
+        that keys come from one column pass and the batch ships through
+        :meth:`Provider.put_chunk` as parallel arrays.
+        """
+        compiled = state.graph.compiled
+        key_slot = compiled.key_slots[node.op_id]
+        if bloom_filter is not None and chunk.length:
+            chunk = chunk.compress(
+                [key in bloom_filter for key in chunk.columns[key_slot]]
+            )
+        if not chunk.length:
+            return 0
+        alias = node.params["alias"]
+        keys = chunk.columns[key_slot]
+        values = [(alias, row) for row in chunk.rows()]
+        self._put_chunk_fragments(query, node.params["namespace"], keys,
+                                  values, node.params["item_bytes"])
+        return chunk.length
+
+    def _put_chunk_fragments(self, query: QuerySpec, namespace: str,
+                             resource_ids: List[Any], values: List[Any],
+                             item_bytes: int) -> None:
+        """Publish one chunk of fragments, honouring computation-node limits."""
+        if query.computation_nodes:
+            nodes = query.computation_nodes
+            by_target: Dict[int, List[int]] = {}
+            for index, resource_id in enumerate(resource_ids):
+                target = nodes[hash_key(namespace, resource_id) % len(nodes)]
+                by_target.setdefault(target, []).append(index)
+            for target, indices in by_target.items():
+                self.provider.put_chunk(
+                    namespace,
+                    [resource_ids[i] for i in indices],
+                    [values[i] for i in indices],
+                    lifetime=query.temp_lifetime_s, item_bytes=item_bytes,
+                    target=target,
+                )
+        else:
+            self.provider.put_chunk(
+                namespace, resource_ids, values,
+                lifetime=query.temp_lifetime_s, item_bytes=item_bytes,
+            )
+
+    def _run_bloom_build_chunk(self, query: QuerySpec, state: _NodeQueryState,
+                               node: OpNode, chunk) -> None:
+        """Columnar Bloom build: one ``update`` over the key column."""
+        if not chunk.length:
+            return
+        compiled = state.graph.compiled
+        bloom = BloomFilter(query.bloom_bits, query.bloom_hashes)
+        bloom.update(chunk.columns[compiled.key_slots[node.op_id]])
+        self.provider.put_batch(
+            node.params["namespace"],
+            [("collector", bloom)],
+            lifetime=query.temp_lifetime_s,
+            item_bytes=bloom.size_bytes,
+        )
+
+    def _run_partial_agg_chunk(self, query: QuerySpec, state: _NodeQueryState,
+                               node: OpNode, chunk) -> None:
+        """Columnar partial aggregation: group over key columns, bulk adds."""
+        alias = node.params["alias"]
+        partial = self._build_partial_agg(query, alias)
+        if chunk.length:
+            agg = state.graph.columnar.aggs[node.op_id]
+            if agg.group_slots:
+                key_columns = [chunk.columns[s] for s in agg.group_slots]
+                groups: Dict[Tuple, List[int]] = {}
+                for index, key in enumerate(zip(*key_columns)):
+                    group = groups.get(key)
+                    if group is None:
+                        groups[key] = [index]
+                    else:
+                        group.append(index)
+            else:
+                groups = {(): list(range(chunk.length))}
+            for key, indices in groups.items():
+                partial.accumulate_many(
+                    key,
+                    [extract(chunk, indices) for extract in agg.extractors],
+                    len(indices),
+                )
+        self._ship_partial_aggregates(query, node.params["namespace"], partial)
 
     # ------------------------------------------------------ terminal runners
 
@@ -899,12 +1045,10 @@ class QueryExecutor:
 
     # ------------------------------------------------------------ aggregation
 
-    def _run_partial_agg(self, query: QuerySpec, state: _NodeQueryState,
-                         node: OpNode, rows: List[dict]) -> None:
-        """Compute local partial aggregates and ship them to their owners."""
-        namespace = node.params["namespace"]
-        alias = node.params["alias"]
-        partial = GroupByAggregate(
+    @staticmethod
+    def _build_partial_agg(query: QuerySpec, alias: str) -> GroupByAggregate:
+        """Fresh partial-aggregation operator for one scan chain."""
+        return GroupByAggregate(
             group_by=query.group_by,
             aggregates=[
                 (a.function, a.column, a.alias, getattr(a, "param", None))
@@ -913,6 +1057,13 @@ class QueryExecutor:
             having=None,  # HAVING is applied only after partials are merged.
             name=f"PartialAgg({alias})",
         )
+
+    def _run_partial_agg(self, query: QuerySpec, state: _NodeQueryState,
+                         node: OpNode, rows: List[dict]) -> None:
+        """Compute local partial aggregates and ship them to their owners."""
+        namespace = node.params["namespace"]
+        alias = node.params["alias"]
+        partial = self._build_partial_agg(query, alias)
         compiled = state.graph.compiled
         if compiled is not None:
             agg = compiled.aggs[node.op_id]
@@ -922,6 +1073,11 @@ class QueryExecutor:
                 partial.accumulate(key(row), [extract(row) for extract in extractors])
         else:
             partial.push_many(qualify(alias, row) for row in rows)
+        self._ship_partial_aggregates(query, namespace, partial)
+
+    def _ship_partial_aggregates(self, query: QuerySpec, namespace: str,
+                                 partial: GroupByAggregate) -> None:
+        """Publish a chain's partial aggregates into the aggregation tree."""
         payloads = partial.partial_payloads()
         sizes = partial.partial_sizes()
         if query.hierarchical_aggregation:

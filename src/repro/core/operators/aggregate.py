@@ -45,6 +45,15 @@ class AggregateState:
         """Accumulate a single input value."""
         raise NotImplementedError
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        """Accumulate a whole column of input values (columnar pipeline).
+
+        Semantically identical to calling :meth:`add` per value; states with
+        a cheaper bulk form (count, sum, min, max) override this.
+        """
+        for value in values:
+            self.add(value)
+
     def merge(self, other: "AggregateState") -> None:
         """Fold another partial state of the same kind into this one."""
         raise NotImplementedError
@@ -84,6 +93,9 @@ class CountState(AggregateState):
         if value is not None:
             self.count += 1
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        self.count += sum(1 for value in values if value is not None)
+
     def merge(self, other: "CountState") -> None:
         self.count += other.count
 
@@ -111,6 +123,11 @@ class SumState(AggregateState):
         if value is not None:
             self.total += value
             self.seen += 1
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        present = [value for value in values if value is not None]
+        self.total += sum(present)
+        self.seen += len(present)
 
     def merge(self, other: "SumState") -> None:
         self.total += other.total
@@ -141,6 +158,11 @@ class AvgState(AggregateState):
             self.total += value
             self.count += 1
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        present = [value for value in values if value is not None]
+        self.total += sum(present)
+        self.count += len(present)
+
     def merge(self, other: "AvgState") -> None:
         self.total += other.total
         self.count += other.count
@@ -170,6 +192,13 @@ class MinState(AggregateState):
         if self.current is None or value < self.current:
             self.current = value
 
+    def add_many(self, values: Sequence[Any]) -> None:
+        present = [value for value in values if value is not None]
+        if present:
+            low = min(present)
+            if self.current is None or low < self.current:
+                self.current = low
+
     def merge(self, other: "MinState") -> None:
         self.add(other.current)
 
@@ -197,6 +226,13 @@ class MaxState(AggregateState):
             return
         if self.current is None or value > self.current:
             self.current = value
+
+    def add_many(self, values: Sequence[Any]) -> None:
+        present = [value for value in values if value is not None]
+        if present:
+            high = max(present)
+            if self.current is None or high > self.current:
+                self.current = high
 
     def merge(self, other: "MaxState") -> None:
         self.add(other.current)
@@ -493,6 +529,19 @@ class GroupByAggregate(Operator):
         states = self._states_for(group_key)
         for state, value in zip(states, values):
             state.add(value)
+
+    def accumulate_many(self, group_key: Tuple,
+                        columns: Sequence[Sequence[Any]], count: int) -> None:
+        """Columnar-pipeline entry: one call per group per chunk.
+
+        ``columns`` is aligned with :attr:`aggregates`; each entry holds the
+        ``count`` input values of that aggregate for this group's rows, as
+        :meth:`accumulate` would have received them one row at a time.
+        """
+        self.rows_in += count
+        states = self._states_for(group_key)
+        for state, values in zip(states, columns):
+            state.add_many(values)
 
     def merge_partial(self, group_key: Tuple, payloads: Sequence[Tuple]) -> None:
         """Fold partial states received from another node into a group."""

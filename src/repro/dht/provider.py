@@ -133,6 +133,7 @@ class Provider:
     SERVICE_NAME = "dht.provider"
     PROTOCOL_PUT = "prov.put"
     PROTOCOL_PUT_BATCH = "prov.put_batch"
+    PROTOCOL_PUT_CHUNK = "prov.put_chunk"
     PROTOCOL_GET = "prov.get"
     PROTOCOL_GET_REPLY = "prov.get_reply"
     PROTOCOL_GET_BATCH = "prov.get_batch"
@@ -170,6 +171,7 @@ class Provider:
 
         node.register_handler(self.PROTOCOL_PUT, self._on_put)
         node.register_handler(self.PROTOCOL_PUT_BATCH, self._on_put_batch)
+        node.register_handler(self.PROTOCOL_PUT_CHUNK, self._on_put_chunk)
         node.register_handler(self.PROTOCOL_GET, self._on_get)
         node.register_handler(self.PROTOCOL_GET_REPLY, self._on_get_reply)
         node.register_handler(self.PROTOCOL_GET_BATCH, self._on_get_batch)
@@ -181,6 +183,8 @@ class Provider:
         node.register_bounce_handler(self.PROTOCOL_PUT, self._on_put_bounce)
         node.register_bounce_handler(self.PROTOCOL_PUT_BATCH,
                                      self._on_put_batch_bounce)
+        node.register_bounce_handler(self.PROTOCOL_PUT_CHUNK,
+                                     self._on_put_chunk_bounce)
 
         # Item migration hooks used by the routing layer on join/leave.
         routing.extract_items = self.storage.extract
@@ -484,6 +488,124 @@ class Provider:
             )
         for namespace, count in by_namespace.items():
             self._record_put_bounce(namespace, count)
+
+    # ------------------------------------------------------------- put_chunk
+
+    def put_chunk(self, namespace: str, resource_ids: Sequence[Any],
+                  values: Sequence[Any],
+                  lifetime: float = DEFAULT_LIFETIME_S,
+                  item_bytes: int = DEFAULT_ITEM_BYTES,
+                  target: Optional[int] = None) -> List[int]:
+        """Columnar companion of :meth:`put_batch`: one namespace, one
+        lifetime, one per-item size — the common shape of a rehash wave.
+
+        Items whose keys share an owner travel as *slices* of parallel
+        ``resource_ids``/``values``/``instance_ids`` arrays in a single
+        ``prov.put_chunk`` message instead of a list of per-item request
+        dicts; the receiver expands the slice back into per-item stores, so
+        ``newData`` still fires once per stored triple.  Keys are grouped in
+        first-occurrence order, matching :meth:`put_batch` delivery order.
+        ``target`` confines all items to a designated computation node (keys
+        are still resolved through the overlay so latency accounting matches
+        the owner-routed path).  With ``batching=False`` this degrades to
+        one scalar put per item.
+        """
+        count = len(resource_ids)
+        instance_ids = [self.next_instance_id() for _ in range(count)]
+        if not count:
+            return instance_ids
+        keys = [hash_key(namespace, rid) for rid in resource_ids]
+        if not self.batching:
+            for i in range(count):
+                request = {
+                    "namespace": namespace,
+                    "resource_id": resource_ids[i],
+                    "instance_id": instance_ids[i],
+                    "value": values[i],
+                    "lifetime": lifetime,
+                    "publisher": self.node.address,
+                    "size_bytes": item_bytes,
+                    "key": keys[i],
+                }
+                self._route_put_request(request, target=target)
+            return instance_ids
+        indices_by_key: Dict[int, List[int]] = {}
+        for i, key in enumerate(keys):
+            indices_by_key.setdefault(key, []).append(i)
+
+        def _deliver(owner: int, resolved: List[int]) -> None:
+            indices = [i for key in resolved for i in indices_by_key[key]]
+            destination = owner if target is None else target
+            self._send_put_chunk(destination, namespace, resource_ids, values,
+                                 instance_ids, keys, indices, lifetime,
+                                 item_bytes)
+
+        self.routing.lookup_batch(
+            list(indices_by_key), _deliver,
+            on_unresolved=lambda lost_keys: self._record_put_bounce(
+                namespace,
+                sum(len(indices_by_key[key]) for key in lost_keys)),
+        )
+        return instance_ids
+
+    def _send_put_chunk(self, destination: int, namespace: str,
+                        resource_ids: Sequence[Any], values: Sequence[Any],
+                        instance_ids: List[int], keys: List[int],
+                        indices: List[int], lifetime: float,
+                        item_bytes: int) -> None:
+        payload = {
+            "namespace": namespace,
+            "resource_ids": [resource_ids[i] for i in indices],
+            "values": [values[i] for i in indices],
+            "instance_ids": [instance_ids[i] for i in indices],
+            "keys": [keys[i] for i in indices],
+            "lifetime": lifetime,
+            "publisher": self.node.address,
+            "item_bytes": item_bytes,
+        }
+        if destination == self.node.address:
+            self._store_chunk(payload)
+            return
+        self.node.send(destination, self.PROTOCOL_PUT_CHUNK, payload=payload,
+                       payload_bytes=item_bytes * len(indices))
+
+    def _store_chunk(self, payload: dict) -> None:
+        expires_at = self.now + payload["lifetime"]
+        stored_at = self.now
+        namespace = payload["namespace"]
+        publisher = payload["publisher"]
+        item_bytes = payload["item_bytes"]
+        callbacks = self._new_data_callbacks.get(namespace, ())
+        for resource_id, value, instance_id, key in zip(
+                payload["resource_ids"], payload["values"],
+                payload["instance_ids"], payload["keys"]):
+            item = StoredItem(
+                namespace=namespace,
+                resource_id=resource_id,
+                instance_id=instance_id,
+                value=value,
+                key=key,
+                expires_at=expires_at,
+                stored_at=stored_at,
+                publisher=publisher,
+                size_bytes=item_bytes,
+            )
+            is_new = not self.storage.has_instance(
+                namespace, resource_id, instance_id, self.now
+            )
+            self.storage.store(item)
+            if is_new and callbacks:
+                view = self._view(item)
+                for callback in callbacks:
+                    callback(view)
+
+    def _on_put_chunk(self, node: Node, message) -> None:
+        self._store_chunk(message.payload)
+
+    def _on_put_chunk_bounce(self, node: Node, message) -> None:
+        payload = message.payload
+        self._record_put_bounce(payload["namespace"],
+                                len(payload["resource_ids"]))
 
     # ------------------------------------------------------------------- get
 

@@ -120,6 +120,11 @@ class SimulationConfig:
     #: is deployment-wide because rehashed fragments travel in the
     #: representation the pipeline works on.
     compiled_rows: bool = True
+    #: Columnar chunk execution on top of the compiled pipeline: scan-side
+    #: operators work on column arrays and rehash fragments ship as chunk
+    #: slices (``prov.put_chunk``).  ``False`` restores the per-row compiled
+    #: path bit-for-bit; ignored when ``compiled_rows`` is off.
+    columnar: bool = True
     #: Churn: run a failure injector alongside real queries and switch the
     #: whole stack into its failure-aware mode.  ``None`` (the default)
     #: reproduces the seed's failure-free behaviour exactly.
@@ -170,6 +175,7 @@ class PierNetwork:
             self.providers[address] = provider
             self.executors[address] = QueryExecutor(
                 node, provider, compiled_rows=config.compiled_rows,
+                columnar=config.columnar,
                 failure_aware=churn is not None,
             )
         self.renewal_agents: Dict[int, RenewalAgent] = {}

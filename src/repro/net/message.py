@@ -17,8 +17,8 @@ control traffic is negligible next to rehashed tuples.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Optional
 
 #: Fixed per-message header overhead (bytes).
 HEADER_BYTES = 60
@@ -26,9 +26,12 @@ HEADER_BYTES = 60
 _message_ids = itertools.count(1)
 
 
-@dataclass
 class Message:
     """A single message in flight between two nodes.
+
+    A ``__slots__`` class rather than a dataclass: the simulator creates one
+    per overlay hop, so per-instance dict allocation is measurable event-loop
+    overhead at large node counts.
 
     Attributes
     ----------
@@ -48,13 +51,24 @@ class Message:
         forward a logical request; used by the hop-count ablation.
     """
 
-    src: int
-    dst: int
-    protocol: str
-    payload: Any = None
-    payload_bytes: int = 0
-    hops: int = 0
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    __slots__ = ("src", "dst", "protocol", "payload", "payload_bytes",
+                 "hops", "msg_id")
+
+    def __init__(self, src: int, dst: int, protocol: str, payload: Any = None,
+                 payload_bytes: int = 0, hops: int = 0,
+                 msg_id: Optional[int] = None):
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.hops = hops
+        self.msg_id = next(_message_ids) if msg_id is None else msg_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(src={self.src}, dst={self.dst}, "
+                f"protocol={self.protocol!r}, payload_bytes={self.payload_bytes}, "
+                f"hops={self.hops}, msg_id={self.msg_id})")
 
     @property
     def size_bytes(self) -> int:

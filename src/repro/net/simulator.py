@@ -26,6 +26,15 @@ routes zero-delay events scheduled *during* a run into a plain FIFO deque
 Ordering stays exactly as before: heap entries at the current timestamp were
 necessarily scheduled earlier (their sequence numbers are smaller), so they
 drain ahead of the ready lane.
+
+Heap entry layout
+-----------------
+The heap stores plain ``(time, seq, event)`` tuples, so every sift compares
+a float (and, on ties, an int) at C speed; the event object itself is a
+``__slots__`` class that is never compared.  A live-event counter tracks
+scheduled-minus-(fired-or-cancelled) events so :attr:`pending_events` and
+the idle check at the end of :meth:`run` are O(1) instead of scanning the
+heap for cancelled entries.
 """
 
 from __future__ import annotations
@@ -33,31 +42,35 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.exceptions import SimulationError
 from repro.net.transport import TimerService
 
 
-@dataclass(order=True)
 class _Event:
-    """Internal heap entry; ordering is (time, sequence number)."""
+    """Internal event record; heap ordering lives in the ``(time, seq)``
+    tuple wrapping it, never in the object itself."""
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, sim: "Simulator"):
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -71,7 +84,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._sim._live -= 1
 
 
 class PeriodicHandle:
@@ -105,11 +122,12 @@ class Simulator(TimerService):
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: list[_Event] = []
+        self._queue: list[tuple] = []  # (time, seq, _Event) heap entries
         self._ready: deque = deque()  # zero-delay events due at the current time
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._live = 0  # scheduled and neither fired nor cancelled
 
     @property
     def now(self) -> float:
@@ -123,8 +141,8 @@ class Simulator(TimerService):
 
     @property
     def pending_events(self) -> int:
-        """Number of events still waiting in the queue (including cancelled)."""
-        return len(self._queue) + len(self._ready)
+        """Number of live (non-cancelled) events still waiting to fire."""
+        return self._live
 
     def schedule(
         self,
@@ -141,15 +159,17 @@ class Simulator(TimerService):
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        event = _Event(self._now + delay, next(self._seq), callback, args)
+        seq = next(self._seq)
+        event = _Event(self._now + delay, seq, callback, args)
+        self._live += 1
         if delay == 0 and self._running:
             # Hot path: a zero-delay event scheduled mid-run fires at the
             # current timestamp after everything already queued there, which
             # is exactly FIFO order on the ready lane — no heap needed.
             self._ready.append(event)
         else:
-            heapq.heappush(self._queue, event)
-        return EventHandle(event)
+            heapq.heappush(self._queue, (event.time, seq, event))
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -223,6 +243,8 @@ class Simulator(TimerService):
                 if event is None:
                     break
                 self._now = event.time
+                event.fired = True
+                self._live -= 1
                 event.callback(*event.args)
                 self._events_processed += 1
                 executed += 1
@@ -230,35 +252,40 @@ class Simulator(TimerService):
             self._running = False
             # Anything left in the ready lane must survive across runs; merge
             # it back into the heap (time == now, sequence numbers preserved).
+            # Cancelled events are dead weight and are dropped here.
             while self._ready:
-                heapq.heappush(self._queue, self._ready.popleft())
+                event = self._ready.popleft()
+                if not event.cancelled:
+                    heapq.heappush(self._queue, (event.time, event.seq, event))
         if until is not None and self._now < until and not self._has_runnable(until):
             self._now = until
         return self._now
 
     def _next_event(self, until: Optional[float]) -> Optional[_Event]:
         """Pop the next runnable event, honouring FIFO order at equal times."""
+        queue = self._queue
+        ready = self._ready
         while True:
-            if self._ready:
+            if ready:
                 # Heap entries due at the current timestamp predate anything
                 # in the ready lane (smaller sequence numbers), so they win.
-                while self._queue and self._queue[0].cancelled:
-                    heapq.heappop(self._queue)
-                if self._queue and self._queue[0].time <= self._now:
-                    return heapq.heappop(self._queue)
-                event = self._ready.popleft()
+                while queue and queue[0][2].cancelled:
+                    heapq.heappop(queue)
+                if queue and queue[0][0] <= self._now:
+                    return heapq.heappop(queue)[2]
+                event = ready.popleft()
                 if event.cancelled:
                     continue
                 return event
-            if not self._queue:
+            if not queue:
                 return None
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
+            head = queue[0]
+            if head[2].cancelled:
+                heapq.heappop(queue)
                 continue
-            if until is not None and event.time > until:
+            if until is not None and head[0] > until:
                 return None
-            return heapq.heappop(self._queue)
+            return heapq.heappop(queue)[2]
 
     def run_until_idle(self, max_events: Optional[int] = None) -> float:
         """Run until no events remain; convenience wrapper over :meth:`run`."""
@@ -271,19 +298,29 @@ class Simulator(TimerService):
         so callers polling between :meth:`run` calls (e.g. result cursors
         deciding how far to drive) see the true next activity time.
         """
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if self._ready:
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        ready = self._ready
+        while ready and ready[0].cancelled:
+            ready.popleft()
+        if ready:
             return self._now
-        if self._queue:
-            return self._queue[0].time
+        if queue:
+            return queue[0][0]
         return None
 
     def _has_runnable(self, until: float) -> bool:
-        """Whether any non-cancelled event is due at or before ``until``."""
-        if any(not e.cancelled for e in self._ready):
-            return True
-        return any(not e.cancelled and e.time <= until for e in self._queue)
+        """Whether any non-cancelled event is due at or before ``until``.
+
+        O(1) in the common cases: the live counter short-circuits an empty
+        calendar, and :meth:`next_event_time` only pops already-cancelled
+        heap heads.
+        """
+        if self._live == 0:
+            return False
+        next_time = self.next_event_time()
+        return next_time is not None and next_time <= until
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,262 @@
+"""Columnar chunk execution: containers, kernels, wire format, gating.
+
+The columnar pipeline is a third executor mode layered on the compiled row
+pipeline: rows travel between operators as :class:`Chunk` objects (one
+value array per layout slot), compiled expressions run as chunk kernels,
+and rehash waves ship per-owner slices through ``Provider.put_chunk``.
+These tests pin the chunk-boundary semantics the mode must preserve —
+empty chunks, chunks split across rehash owners, the chunk→row fallback —
+plus the ``columnar`` configuration gate itself.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expressions import compare
+from repro.core.opgraph import _compile_chain_kernel, build_opgraph
+from repro.core.query import JoinStrategy
+from repro.core.tuples import Chunk, RowLayout
+from repro.dht.can import CanNetworkBuilder
+from repro.dht.naming import hash_key
+from repro.dht.provider import Provider
+from repro.exceptions import PlanError
+from repro.harness import run_query
+from repro.net.network import Network
+from repro.net.topology import FullMeshTopology
+from repro.workloads import JoinWorkload, WorkloadConfig
+from tests.conftest import build_pier, build_workload, load_join_tables
+from tests.test_compiled_equivalence import EXPRESSION_FIXTURES, MERGED_LAYOUT
+
+# ------------------------------------------------------------------- chunks
+
+LAYOUT = RowLayout(["a", "b", "c"])
+
+
+def test_empty_chunk_roundtrips():
+    chunk = Chunk.empty(LAYOUT)
+    assert len(chunk) == 0
+    assert chunk.rows() == []
+    assert chunk.dicts() == []
+    assert Chunk.from_rows(LAYOUT, []).rows() == []
+
+
+def test_from_rows_rows_roundtrip_is_lossless():
+    rows = [(1, 2.0, "x"), (4, 5.0, "y"), (7, 8.0, "z")]
+    chunk = Chunk.from_rows(LAYOUT, rows)
+    assert len(chunk) == 3
+    assert chunk.rows() == rows
+    assert chunk.column("b") == [2.0, 5.0, 8.0]
+    assert chunk.dicts()[1] == {"a": 4, "b": 5.0, "c": "y"}
+
+
+def test_compress_keeps_masked_rows_dense():
+    chunk = Chunk.from_rows(LAYOUT, [(i, i * 1.0, str(i)) for i in range(5)])
+    kept = chunk.compress([True, False, True, False, True])
+    assert kept.rows() == [(0, 0.0, "0"), (2, 2.0, "2"), (4, 4.0, "4")]
+    # All-kept returns the same object; none-kept returns an empty chunk.
+    assert chunk.compress([1] * 5) is chunk
+    assert chunk.compress([0] * 5).rows() == []
+
+
+def test_take_and_select_views():
+    chunk = Chunk.from_rows(LAYOUT, [(i, -i, i * i) for i in range(4)])
+    assert chunk.take([3, 0]).rows() == [(3, -3, 9), (0, 0, 0)]
+    narrow = chunk.select([2, 0], RowLayout(["c", "a"]))
+    assert narrow.rows() == [(0, 0), (1, 1), (4, 2), (9, 3)]
+    # select() shares the underlying value arrays rather than copying.
+    assert narrow.columns[0] is chunk.columns[2]
+
+
+# -------------------------------------------------- vector expression kernels
+
+
+def _outcome(action):
+    try:
+        return ("ok", action())
+    except Exception as error:  # noqa: BLE001 - class equality is the contract
+        return ("error", type(error))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=-50, max_value=50),
+              st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+              st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)),
+    min_size=0, max_size=17))
+def test_vector_kernels_match_per_row_compilation(rows):
+    """Vector kernels agree with the scalar closures row for row, including
+    on empty chunks — value lists and error classes alike."""
+    # Widen the 3-wide hypothesis rows to the merged join layout.
+    widened = [(a, b, c, a + 1, -a, b / 2.0, c * 3.0) for a, b, c in rows]
+    chunk = Chunk.from_rows(MERGED_LAYOUT, widened)
+    for expression in EXPRESSION_FIXTURES:
+        def scalar_run(expression=expression):
+            compiled = expression.compile(MERGED_LAYOUT)
+            return [compiled(row) for row in widened]
+
+        def vector_run(expression=expression):
+            kernel = expression.compile_vector(MERGED_LAYOUT)
+            return list(kernel(chunk.columns, len(chunk)))
+
+        scalar = _outcome(scalar_run)
+        vector = _outcome(vector_run)
+        assert scalar == vector, f"{expression!r} diverged: " \
+            f"scalar={scalar} vector={vector}"
+
+
+def test_chain_kernel_empty_input_yields_empty_chunk():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=8, seed=3))
+    query = workload.make_query(strategy=JoinStrategy.SYMMETRIC_HASH)
+    kernel, layout = _compile_chain_kernel(
+        query, "R", query.local_predicates["R"], query.columns_needed_from("R"))
+    empty = kernel([])
+    assert isinstance(empty, Chunk)
+    assert len(empty) == 0
+    assert list(empty.layout.names) == list(layout.names)
+
+
+def test_fully_filtered_chunk_produces_zero_results_end_to_end():
+    """A predicate that rejects every row exercises the empty-chunk path
+    through rehash and probe without hanging or erroring."""
+    workload = build_workload(8)
+    pier = build_pier(8)
+    load_join_tables(pier, workload)
+    query = workload.make_query(strategy=JoinStrategy.SYMMETRIC_HASH)
+    query.local_predicates["R"] = compare("R.num2", ">", 1e9)
+    result = run_query(pier, query, initiator=0)
+    assert result.handle.rows == []
+
+
+# --------------------------------------------------------- put_chunk wire API
+
+
+def build_provider_network(num_nodes=12, batching=True):
+    network = Network(FullMeshTopology(num_nodes, latency_s=0.02,
+                                       capacity_bytes_per_s=float("inf")))
+    builder = CanNetworkBuilder(dimensions=2)
+    routings = builder.build_stabilized(network)
+    providers = {
+        address: Provider(network.node(address), routings[address],
+                          sweep_period_s=0.0, instance_seed=address,
+                          batching=batching)
+        for address in range(num_nodes)
+    }
+    return network, providers, builder
+
+
+def test_put_chunk_splits_items_across_owners():
+    network, providers, builder = build_provider_network()
+    resource_ids = [f"r{i}" for i in range(24)]
+    values = [{"v": i} for i in range(24)]
+    instance_ids = providers[0].put_chunk("t", resource_ids, values,
+                                          item_bytes=64)
+    assert len(instance_ids) == len(set(instance_ids)) == 24
+    network.run_until_idle()
+    for resource_id, value in zip(resource_ids, values):
+        owner = builder.owner_of_key(hash_key("t", resource_id))
+        items = providers[owner].get_local("t", resource_id)
+        assert [item.value for item in items] == [value]
+    total = sum(len(list(provider.lscan("t")))
+                for provider in providers.values())
+    assert total == 24
+
+
+def test_put_chunk_fires_new_data_per_item():
+    network, providers, builder = build_provider_network(6)
+    arrivals = []
+    for provider in providers.values():
+        provider.on_new_data("t", lambda item: arrivals.append(item.resource_id))
+    providers[2].put_chunk("t", ["x", "y", "z"], [1, 2, 3])
+    network.run_until_idle()
+    assert sorted(arrivals) == ["x", "y", "z"]
+
+
+def test_put_chunk_empty_is_a_noop():
+    network, providers, _builder = build_provider_network(4)
+    assert providers[0].put_chunk("t", [], []) == []
+    network.run_until_idle()
+    assert all(list(provider.lscan("t")) == []
+               for provider in providers.values())
+
+
+def test_put_chunk_without_batching_degrades_to_scalar_puts():
+    network, providers, builder = build_provider_network(8, batching=False)
+    resource_ids = list(range(10))
+    providers[1].put_chunk("t", resource_ids, [str(r) for r in resource_ids])
+    network.run_until_idle()
+    for resource_id in resource_ids:
+        owner = builder.owner_of_key(hash_key("t", resource_id))
+        items = providers[owner].get_local("t", resource_id)
+        assert [item.value for item in items] == [str(resource_id)]
+
+
+def test_put_chunk_target_confines_items_to_computation_node():
+    network, providers, _builder = build_provider_network()
+    providers[0].put_chunk("t", ["p", "q"], [10, 11], target=5)
+    network.run_until_idle()
+    assert [item.value for item in providers[5].get_local("t", "p")] == [10]
+    assert [item.value for item in providers[5].get_local("t", "q")] == [11]
+    for address, provider in providers.items():
+        if address != 5:
+            assert provider.get_local("t", "p") == []
+            assert provider.get_local("t", "q") == []
+
+
+def test_put_chunk_matches_put_batch_storage_state():
+    """The chunk wire format is a pure encoding change: after the dust
+    settles, per-owner storage is identical to scalar/batch puts."""
+    resource_ids = [f"k{i}" for i in range(16)]
+    values = [i * 10 for i in range(16)]
+
+    def final_state(put):
+        network, providers, _builder = build_provider_network()
+        put(providers[0], resource_ids, values)
+        network.run_until_idle()
+        return {
+            address: sorted((item.resource_id, item.value)
+                            for item in provider.lscan("t"))
+            for address, provider in providers.items()
+        }
+
+    def chunk_put(provider, ids, vals):
+        provider.put_chunk("t", ids, vals)
+
+    def scalar_put(provider, ids, vals):
+        for resource_id, value in zip(ids, vals):
+            provider.put("t", resource_id, None, value)
+
+    assert final_state(chunk_put) == final_state(scalar_put)
+
+
+# -------------------------------------------------------------------- gating
+
+
+def test_columnar_requires_compiled_rows():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=4, seed=3))
+    query = workload.make_query(strategy=JoinStrategy.SYMMETRIC_HASH)
+    with pytest.raises(PlanError):
+        build_opgraph(query, compiled=False, columnar=True)
+
+
+def test_columnar_is_default_and_gated_on_compiled():
+    pier_default = build_pier(8)
+    assert pier_default.executor(0).columnar is True
+    # columnar=False keeps the compiled per-row pipeline of PR 3.
+    pier_rows = build_pier(8, columnar=False)
+    assert pier_rows.executor(0).compiled_rows is True
+    assert pier_rows.executor(0).columnar is False
+    # Turning the compiled pipeline off turns columnar off with it.
+    pier_interp = build_pier(8, compiled_rows=False)
+    assert pier_interp.executor(0).columnar is False
+
+
+def test_columnar_opgraph_covers_every_scan_chain():
+    workload = JoinWorkload(WorkloadConfig(num_nodes=8, seed=3))
+    query = workload.make_query(strategy=JoinStrategy.SYMMETRIC_HASH)
+    graph = build_opgraph(query, compiled=True, columnar=True)
+    assert graph.columnar is not None
+    from repro.core.opgraph import OpKind
+    scans = graph.nodes_of_kind(OpKind.SCAN)
+    assert scans
+    for scan in scans:
+        assert scan.op_id in graph.columnar.chains

@@ -1,11 +1,13 @@
-"""Compiled-vs-interpreted equivalence: same rows, same errors, both DHTs.
+"""Executor-pipeline equivalence: same rows, same errors, both DHTs.
 
 The compiled row pipeline (slotted tuples + plan-time expression
-compilation) must be a pure representation change: every expression
-evaluates to the same value (or fails with the same error class), and every
-join strategy and aggregation shape returns the identical result multiset
-under ``SimulationConfig(compiled_rows=True)`` and ``False``, on CAN and
-Chord alike.
+compilation) and the columnar chunk pipeline layered on it must both be
+pure representation changes: every expression evaluates to the same value
+(or fails with the same error class), and every join strategy and
+aggregation shape returns the identical result multiset under all three
+executor modes — interpreted (``compiled_rows=False``), compiled per-row
+(``columnar=False``) and columnar chunks (the default) — on CAN and Chord
+alike.
 """
 
 import pytest
@@ -118,9 +120,17 @@ def test_projection_errors_match_interpreted():
 # ------------------------------------------------------------ join strategies
 
 
-def _strategy_rows(strategy, dht, compiled, num_nodes=16):
+#: The three executor pipelines, as SimulationConfig overrides.
+PIPELINES = {
+    "interpreted": dict(compiled_rows=False),
+    "compiled": dict(compiled_rows=True, columnar=False),
+    "columnar": dict(compiled_rows=True, columnar=True),
+}
+
+
+def _strategy_rows(strategy, dht, mode, num_nodes=16):
     workload = build_workload(num_nodes)
-    pier = build_pier(num_nodes, dht=dht, compiled_rows=compiled)
+    pier = build_pier(num_nodes, dht=dht, **PIPELINES[mode])
     load_join_tables(pier, workload)
     query = workload.make_query(strategy=strategy)
     result = run_query(pier, query, initiator=0)
@@ -128,14 +138,16 @@ def _strategy_rows(strategy, dht, compiled, num_nodes=16):
 
 
 # ``list(JoinStrategy)`` deliberately includes AUTO: cost-based plans must
-# be row-identical across the compiled and interpreted pipelines too.
+# be row-identical across all three pipelines too.
 @pytest.mark.parametrize("dht", ["can", "chord"])
 @pytest.mark.parametrize("strategy", list(JoinStrategy))
-def test_all_join_strategies_identical_rows_both_pipelines(strategy, dht):
-    compiled = _strategy_rows(strategy, dht, compiled=True)
-    interpreted = _strategy_rows(strategy, dht, compiled=False)
-    assert compiled, "workload must produce rows for the comparison to bite"
-    assert compiled == interpreted
+def test_all_join_strategies_identical_rows_all_pipelines(strategy, dht):
+    rows_by_mode = {mode: _strategy_rows(strategy, dht, mode)
+                    for mode in PIPELINES}
+    assert rows_by_mode["columnar"], \
+        "workload must produce rows for the comparison to bite"
+    assert rows_by_mode["columnar"] == rows_by_mode["compiled"] \
+        == rows_by_mode["interpreted"]
 
 
 def test_auto_resolves_to_same_strategy_under_both_pipelines():
@@ -155,13 +167,13 @@ def test_auto_resolves_to_same_strategy_under_both_pipelines():
     assert first in JoinStrategy.physical()
 
 
-def test_unprojected_join_rows_identical_both_pipelines():
+def test_unprojected_join_rows_identical_all_pipelines():
     """Without an output list the merged qualified row crosses the boundary."""
     from repro.core.query import JoinClause, QuerySpec, TableRef
 
-    def run(compiled):
+    def run(mode):
         workload = build_workload(12)
-        pier = build_pier(12, compiled_rows=compiled)
+        pier = build_pier(12, **PIPELINES[mode])
         load_join_tables(pier, workload)
         query = QuerySpec(
             tables=[TableRef(workload.r_relation, "R"),
@@ -172,18 +184,18 @@ def test_unprojected_join_rows_identical_both_pipelines():
         result = run_query(pier, query, initiator=0)
         return sorted(tuple(sorted(row.items())) for row in result.handle.rows)
 
-    assert run(True) == run(False)
+    assert run("columnar") == run("compiled") == run("interpreted")
 
 
 # -------------------------------------------------------------- aggregation
 
 
-def _aggregation_rows(compiled, hierarchical=False, distributed=True):
+def _aggregation_rows(mode, hierarchical=False, distributed=True):
     from repro.core.sql import SQLPlanner
     from repro.workloads import NetworkMonitoringWorkload
 
     workload = NetworkMonitoringWorkload(num_nodes=20, seed=5)
-    pier = build_pier(20, compiled_rows=compiled)
+    pier = build_pier(20, **PIPELINES[mode])
     pier.load_relation(workload.intrusions, workload.intrusions_by_node)
     planner = SQLPlanner(workload.catalog())
     query = planner.plan_sql(
@@ -197,16 +209,17 @@ def _aggregation_rows(compiled, hierarchical=False, distributed=True):
 
 
 @pytest.mark.parametrize("variant", ["flat", "hierarchical", "initiator"])
-def test_aggregation_identical_rows_both_pipelines(variant):
+def test_aggregation_identical_rows_all_pipelines(variant):
     kwargs = {
         "flat": dict(),
         "hierarchical": dict(hierarchical=True),
         "initiator": dict(distributed=False),
     }[variant]
-    compiled = _aggregation_rows(True, **kwargs)
-    interpreted = _aggregation_rows(False, **kwargs)
-    assert compiled
-    assert compiled == interpreted
+    rows_by_mode = {mode: _aggregation_rows(mode, **kwargs)
+                    for mode in PIPELINES}
+    assert rows_by_mode["columnar"]
+    assert rows_by_mode["columnar"] == rows_by_mode["compiled"] \
+        == rows_by_mode["interpreted"]
 
 
 # ------------------------------------------------------------- error parity
