@@ -32,13 +32,10 @@ def measure_hops(builder, network, routings) -> float:
 def sweep():
     rows = []
     for num_nodes in node_axis((64, 256, 1024)):
-        for label, make_builder, predicted in (
-            ("can d=2", lambda: CanNetworkBuilder(dimensions=2),
-             analytical.can_average_hops(1, 2)),
-            ("can d=3", lambda: CanNetworkBuilder(dimensions=3),
-             analytical.can_average_hops(1, 3)),
-            ("chord", ChordNetworkBuilder,
-             analytical.chord_average_hops(1)),
+        for label, make_builder in (
+            ("can d=2", lambda: CanNetworkBuilder(dimensions=2)),
+            ("can d=3", lambda: CanNetworkBuilder(dimensions=3)),
+            ("chord", ChordNetworkBuilder),
         ):
             network = Network(FullMeshTopology(num_nodes, latency_s=0.0,
                                                capacity_bytes_per_s=float("inf")))

@@ -342,7 +342,7 @@ def _write_profile_artifact(profiler, path: Path, num_nodes: int,
     stats.sort_stats("cumulative")
     entries = []
     total_tt = sum(row[2] for row in stats.stats.values())
-    for func, (cc, nc, tt, ct, _callers) in sorted(
+    for func, (_cc, nc, tt, ct, _callers) in sorted(
             stats.stats.items(), key=lambda item: item[1][3], reverse=True):
         filename, line, name = func
         entries.append({

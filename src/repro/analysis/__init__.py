@@ -1,0 +1,53 @@
+"""pierlint — AST-based invariant checker for the distributed engine.
+
+Past PRs each hand-enforced a fragile cross-cutting invariant: bit-identical
+simulator determinism, wire-codec/handler coverage for every payload that
+crosses TCP, subscription/soft-state teardown balance, and asyncio task
+hygiene.  ``pierlint`` checks those mechanically, as five rule families over
+the whole source tree (see :mod:`repro.analysis.rules`), with a
+committed-baseline suppression file for the sites a human has justified.
+
+Run it as ``python -m repro.analysis [paths]``; use the API for tests::
+
+    from repro.analysis import analyze_paths
+    findings = analyze_paths(["src"])          # scoped, all families
+    findings = analyze_paths([fixture_dir], scoped=False)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.baseline import Baseline, Triage, triage
+from repro.analysis.framework import (
+    Analyzer,
+    Finding,
+    assign_keys,
+)
+from repro.analysis.rules import RULE_DOCS, RULE_FAMILIES, build_rules
+
+
+def analyze_paths(paths: Sequence[Union[str, Path]],
+                  families: Optional[Sequence[str]] = None,
+                  *, scoped: bool = True,
+                  report_only: Optional[Sequence[str]] = None,
+                  ) -> List[Finding]:
+    """Run the selected rule families over ``paths``; return findings."""
+    analyzer = Analyzer(build_rules(families), scoped=scoped,
+                        report_only=report_only)
+    return analyzer.run([Path(p) for p in paths])
+
+
+__all__ = [
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "RULE_DOCS",
+    "RULE_FAMILIES",
+    "Triage",
+    "analyze_paths",
+    "assign_keys",
+    "build_rules",
+    "triage",
+]

@@ -1,0 +1,167 @@
+"""pierlint CLI: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean (every finding baselined), 1 = new findings (or, with
+``--strict-baseline``, stale baseline entries), 2 = usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, triage
+from repro.analysis.framework import Analyzer, assign_keys
+from repro.analysis.rules import RULE_DOCS, RULE_FAMILIES, build_rules
+
+DEFAULT_BASELINE = "pierlint-baseline.json"
+
+
+def _changed_modules(rev: str, repo_root: Path) -> Optional[List[str]]:
+    """Canonical module paths of .py files changed since ``rev``."""
+    try:
+        out = subprocess.run(
+            ["git", "diff", "--name-only", rev, "--", "*.py"],
+            cwd=repo_root, capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        print(f"pierlint: --diff {rev} failed: {exc}", file=sys.stderr)
+        return None
+    modules = []
+    for line in out.splitlines():
+        parts = Path(line.strip()).parts
+        if "repro" in parts:
+            modules.append("/".join(parts[parts.index("repro"):]))
+        elif line.strip():
+            modules.append(Path(line.strip()).name)
+    return modules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="pierlint: AST-based invariant checker for the "
+                    "distributed engine (determinism, wire conformance, "
+                    "soft-state balance, asyncio hygiene, exception "
+                    "discipline).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to scan (default: src)")
+    parser.add_argument("--rules", metavar="FAMILY[,FAMILY...]",
+                        help=f"rule families to run "
+                             f"(default: all of {', '.join(RULE_FAMILIES)})")
+    parser.add_argument("--baseline", metavar="PATH",
+                        default=DEFAULT_BASELINE,
+                        help="suppression file (default: %(default)s)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "findings (new entries get TODO justifications)")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="fail when the baseline has stale entries")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write machine-readable results "
+                             "(use - for stdout)")
+    parser.add_argument("--diff", metavar="REV",
+                        help="only report findings in files changed since "
+                             "the given git rev (facts still collected "
+                             "tree-wide)")
+    parser.add_argument("--no-scope", action="store_true",
+                        help="apply every rule to every file (fixture mode)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_DOCS):
+            print(f"{rule_id}  {RULE_DOCS[rule_id]}")
+        return 0
+
+    families = args.rules.split(",") if args.rules else None
+    try:
+        rules = build_rules(families)
+    except ValueError as exc:
+        print(f"pierlint: {exc}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"pierlint: no such path: {missing}", file=sys.stderr)
+        return 2
+
+    report_only = None
+    if args.diff:
+        report_only = _changed_modules(args.diff, Path.cwd())
+        if report_only is None:
+            return 2
+
+    analyzer = Analyzer(rules, scoped=not args.no_scope,
+                        report_only=report_only)
+    findings = analyzer.run(paths)
+    keyed = assign_keys(findings)
+
+    for error in analyzer.project.errors:
+        print(f"pierlint: parse error: {error}", file=sys.stderr)
+
+    baseline = Baseline.load(Path(args.baseline))
+    if args.no_baseline:
+        baseline.entries = {}
+    if args.write_baseline:
+        baseline.write(keyed)
+        print(f"pierlint: wrote {len(keyed)} entries to {baseline.path}")
+        return 0
+
+    result = triage(keyed, baseline)
+    # A full-tree baseline legitimately has entries outside a --diff set or
+    # outside the selected families; staleness is only meaningful on a full
+    # run of every rule.
+    if report_only is not None or families:
+        result.stale_keys = []
+
+    for _key, finding in result.new:
+        print(f"{finding.location()}: {finding.rule} "
+              f"[{finding.family}/{finding.severity}] {finding.message}")
+    for key in result.stale_keys:
+        print(f"pierlint: stale baseline entry (fix shipped? delete it): "
+              f"{key}", file=sys.stderr)
+
+    if args.json_path:
+        payload = {
+            "findings": [f.to_json(key) for key, f in result.new],
+            "suppressed": [f.to_json(key) for key, f in result.suppressed],
+            "stale_baseline_keys": result.stale_keys,
+            "summary": {
+                "scanned_modules": len(analyzer.project.modules),
+                "new": len(result.new),
+                "suppressed": len(result.suppressed),
+                "stale": len(result.stale_keys),
+                "parse_errors": len(analyzer.project.errors),
+            },
+        }
+        text = json.dumps(payload, indent=2)
+        if args.json_path == "-":
+            print(text)
+        else:
+            Path(args.json_path).write_text(text + "\n", encoding="utf-8")
+
+    total = len(result.new) + len(result.suppressed)
+    print(f"pierlint: {len(analyzer.project.modules)} modules, "
+          f"{total} finding(s): {len(result.new)} new, "
+          f"{len(result.suppressed)} baselined, "
+          f"{len(result.stale_keys)} stale baseline entr"
+          f"{'y' if len(result.stale_keys) == 1 else 'ies'}")
+
+    if analyzer.project.errors or result.new:
+        return 1
+    if args.strict_baseline and result.stale_keys:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Committed-baseline suppression for pierlint.
+
+The baseline is a JSON file of *justified* findings: sites a human looked
+at and declared safe, each with a one-line reason.  A finding whose stable
+key appears in the baseline is suppressed; a baseline entry that matches no
+current finding is *stale* and reported (the code it excused is gone, so
+the excuse must go too — otherwise the file accretes dead suppressions
+that hide future regressions at the same key).
+
+Keys deliberately contain no line numbers (see ``Finding.base_key``), so
+re-formatting or moving code does not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.framework import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The parsed suppression file."""
+
+    path: Path
+    entries: Dict[str, str] = field(default_factory=dict)  # key → justification
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {data.get('version')!r}"
+            )
+        entries: Dict[str, str] = {}
+        for entry in data.get("entries", []):
+            entries[entry["key"]] = entry.get("justification", "")
+        return cls(path=path, entries=entries)
+
+    def write(self, keyed_findings: Sequence[Tuple[str, Finding]]) -> None:
+        """Write a fresh baseline from the given findings.
+
+        Existing justifications are preserved for keys that survive; new
+        keys get a ``TODO`` marker a reviewer must replace.
+        """
+        entries = []
+        for key, finding in keyed_findings:
+            entries.append({
+                "key": key,
+                "rule": finding.rule,
+                "justification": self.entries.get(
+                    key, "TODO: justify or fix"),
+            })
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8")
+
+
+@dataclass
+class Triage:
+    """Findings split against a baseline."""
+
+    new: List[Tuple[str, Finding]] = field(default_factory=list)
+    suppressed: List[Tuple[str, Finding]] = field(default_factory=list)
+    stale_keys: List[str] = field(default_factory=list)
+
+
+def triage(keyed_findings: Sequence[Tuple[str, Finding]],
+           baseline: Baseline) -> Triage:
+    result = Triage()
+    seen = set()
+    for key, finding in keyed_findings:
+        if key in baseline.entries:
+            result.suppressed.append((key, finding))
+            seen.add(key)
+        else:
+            result.new.append((key, finding))
+    result.stale_keys = [key for key in baseline.entries if key not in seen]
+    return result

@@ -1,0 +1,71 @@
+"""PL4xx — asyncio hygiene for the real-transport modules.
+
+The real TCP backend runs one event loop per process; the two classic
+defects there are a coroutine that is *called* but never awaited (the body
+silently never runs — Python only warns at GC time) and a fire-and-forget
+``create_task`` whose reference is dropped, so the task can be garbage
+collected mid-flight and its exceptions are never observed.  The PR 8
+``RealTransport.close()`` fix was exactly this class of bug.
+
+* **PL401** — a bare-statement call to a function defined with
+  ``async def`` in the same module, without ``await``.
+* **PL402** — ``create_task(...)`` / ``ensure_future(...)`` used as a bare
+  expression statement: the task handle is neither stored nor given a
+  done-callback.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import ModuleInfo, Rule, ScopeStack, call_attr
+
+TASK_FACTORIES = {"create_task", "ensure_future"}
+
+
+class AsyncioHygieneRule(Rule):
+    family = "asyncio"
+    scope_patterns = (
+        "repro/net/real.py",
+        "repro/node.py",
+    )
+
+    def check_module(self, info: ModuleInfo) -> None:
+        _AsyncioVisitor(self, info).visit(info.tree)
+
+
+class _AsyncioVisitor(ScopeStack):
+    def __init__(self, rule: AsyncioHygieneRule, info: ModuleInfo) -> None:
+        super().__init__()
+        self.rule = rule
+        self.info = info
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if isinstance(call, ast.Call):
+            attr = call_attr(call)
+            if attr in TASK_FACTORIES:
+                self.rule.report(
+                    self.info, node, "PL402",
+                    f"{attr}(...) result is dropped — store the task (or "
+                    f"add a done callback) so it cannot be GC'd mid-flight "
+                    f"and its exception is observed",
+                    detail=f"{attr}-dropped", scope=self.scope)
+            elif self._is_local_coroutine_call(call):
+                self.rule.report(
+                    self.info, node, "PL401",
+                    f"coroutine {attr}() is called but never awaited — the "
+                    f"body will not run",
+                    detail=f"{attr}-not-awaited", scope=self.scope)
+        self.generic_visit(node)
+
+    def _is_local_coroutine_call(self, call: ast.Call) -> bool:
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")):
+            name = func.attr
+        return name is not None and name in self.info.async_defs

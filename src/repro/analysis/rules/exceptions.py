@@ -1,0 +1,90 @@
+"""PL5xx — exception discipline in request/retry lanes.
+
+The churn-resilience layer (PR 5) accounts for every failed request —
+retry counters, bounce counters, per-scope issued/completed/failed
+bookkeeping — and ``completeness()`` reporting is only honest if failures
+actually reach it.  A swallowed exception in a request, retry or delivery
+lane silently converts "degraded" into "perfect", which is worse than the
+failure itself.
+
+* **PL501** — a bare ``except:`` anywhere in the scanned tree (it also
+  catches ``KeyboardInterrupt``/``SystemExit``).
+* **PL502** — an ``except Exception:`` / ``except BaseException:`` whose
+  entire body is ``pass``/``continue``/``...``, in the request/retry lane
+  modules (``dht/``, ``net/``, the executor, the remote gateway client).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+
+from repro.analysis.framework import ModuleInfo, Rule, ScopeStack, dotted_name
+
+BROAD_TYPES = {"Exception", "BaseException"}
+
+#: modules whose swallowed exceptions would corrupt failure accounting.
+REQUEST_LANE_PATTERNS = (
+    "repro/dht/*",
+    "repro/net/*",
+    "repro/core/executor.py",
+    "repro/remote.py",
+    "repro/node.py",
+)
+
+
+class ExceptionDisciplineRule(Rule):
+    family = "exceptions"
+    scope_patterns = ("repro/*", "repro/*/*", "*")
+
+    def check_module(self, info: ModuleInfo) -> None:
+        _ExceptionVisitor(self, info).visit(info.tree)
+
+
+class _ExceptionVisitor(ScopeStack):
+    def __init__(self, rule: ExceptionDisciplineRule, info: ModuleInfo) -> None:
+        super().__init__()
+        self.rule = rule
+        self.info = info
+        self.in_request_lane = any(
+            fnmatch.fnmatch(info.module, pattern)
+            for pattern in REQUEST_LANE_PATTERNS
+        ) or "/" not in info.module  # fixture files count as request lanes
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.rule.report(
+                self.info, node, "PL501",
+                "bare except: also swallows KeyboardInterrupt/SystemExit — "
+                "name the exception(s) this lane expects",
+                detail="bare-except", scope=self.scope)
+        elif self.in_request_lane and self._is_broad(node.type) \
+                and self._body_swallows(node.body):
+            self.rule.report(
+                self.info, node, "PL502",
+                "except Exception with a pass-only body in a request/retry "
+                "lane — the failure never reaches the completeness "
+                "accounting; log it or count it",
+                detail="swallowed-exception", scope=self.scope)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr) -> bool:
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [dotted_name(el) for el in type_node.elts]
+        else:
+            names = [dotted_name(type_node)]
+        return any(name in BROAD_TYPES for name in names if name)
+
+    @staticmethod
+    def _body_swallows(body: list) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is Ellipsis):
+                continue
+            return False
+        return True

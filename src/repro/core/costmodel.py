@@ -473,9 +473,7 @@ def cost_graph(graph, stats_map: Optional[Dict[str, RelationStats]] = None,
         alias = node.params.get("alias")
         if kind is OpKind.SCAN:
             put(node, estimates.cardinality.get(alias, 0.0))
-        elif kind is OpKind.FILTER:
-            put(node, estimates.selected.get(alias, result_rows))
-        elif kind is OpKind.PROJECT:
+        elif kind in (OpKind.FILTER, OpKind.PROJECT):
             put(node, estimates.selected.get(alias, result_rows))
         elif kind is OpKind.REHASH:
             rows = estimates.selected.get(alias, 0.0)

@@ -960,7 +960,7 @@ class QueryExecutor:
         def _handler(namespace, resource_id, item, origin, node=node) -> None:
             self._on_bloom_filter(query, node, item)
 
-        self.provider.multicast_service.subscribe(distribution_namespace, _handler)
+        self.provider.on_multicast(distribution_namespace, _handler)
         state.multicast_subscriptions.append((distribution_namespace, _handler))
         if self.failure_aware:
             handle = self.node.schedule(node.params["fallback_delay_s"],
@@ -1200,7 +1200,7 @@ class QueryExecutor:
         for namespace, callback in state.new_data_registrations:
             self.provider.off_new_data(namespace, callback)
         for namespace, handler in state.multicast_subscriptions:
-            self.provider.multicast_service.unsubscribe(namespace, handler)
+            self.provider.off_multicast(namespace, handler)
         for timer in state.timers:
             timer.cancel()
         for namespace in state.temp_namespaces:

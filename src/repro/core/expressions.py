@@ -47,6 +47,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from repro.core.tuples import RowLayout
 from repro.exceptions import ExpressionError
 
 Row = Dict[str, Any]
@@ -55,7 +56,7 @@ Row = Dict[str, Any]
 CompiledExpression = Callable[[Sequence[Any]], Any]
 
 #: A vectorized expression: ``(columns, length) -> results`` over one chunk.
-VectorExpression = Callable[[Sequence[list], int], list]
+VectorExpression = Callable[[Sequence[List[Any]], int], List[Any]]
 
 #: Registry of scalar user-defined functions usable in FunctionCall.
 _UDF_REGISTRY: Dict[str, Callable[..., Any]] = {}
@@ -82,7 +83,7 @@ class Expression(ABC):
         """Evaluate against a row environment."""
 
     @abstractmethod
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         """Compile to a closure over slotted rows of ``layout``.
 
         Every :class:`ColumnRef` is resolved to a fixed slot here, once —
@@ -90,7 +91,7 @@ class Expression(ABC):
         at compile (plan) time instead of on every row.
         """
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         """Compile to a chunk kernel: ``(columns, length) -> result list``.
 
         Column references resolve to fixed slots at compile time, exactly as
@@ -125,11 +126,11 @@ class Literal(Expression):
     def evaluate(self, row: Row) -> Any:
         return self.value
 
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         value = self.value
         return lambda _row: value
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         value = self.value
         return lambda _columns, n: [value] * n
 
@@ -165,7 +166,7 @@ class ColumnRef(Expression):
                 )
         raise ExpressionError(f"row has no column {self.name!r} (row keys: {sorted(row)})")
 
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         slot = layout.slot(self.name, ambiguity_error=ExpressionError)
         if slot is None:
             raise ExpressionError(
@@ -173,7 +174,7 @@ class ColumnRef(Expression):
             )
         return operator.itemgetter(slot)
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         slot = layout.slot(self.name, ambiguity_error=ExpressionError)
         if slot is None:
             raise ExpressionError(
@@ -209,8 +210,9 @@ _ARITHMETIC: Dict[str, Callable[[Any, Any], Any]] = {
 }
 
 
-def _compile_binary_vector(op_fn, left: Expression, right: Expression,
-                           layout, as_bool: bool) -> VectorExpression:
+def _compile_binary_vector(op_fn: Callable[[Any, Any], Any],
+                           left: Expression, right: Expression,
+                           layout: RowLayout, as_bool: bool) -> VectorExpression:
     """Vectorize a binary node, special-casing the column-vs-constant shape
     (the dominant predicate form) to a single-column pass with no zip."""
     if isinstance(right, Literal) and not isinstance(left, Literal):
@@ -246,7 +248,8 @@ def _compile_binary_vector(op_fn, left: Expression, right: Expression,
     ]
 
 
-def _gather_columns(columns: Sequence[list], indices: List[int]) -> List[list]:
+def _gather_columns(columns: Sequence[List[Any]],
+                    indices: List[int]) -> List[List[Any]]:
     """Row-subset view of a chunk's columns (the selection-vector gather)."""
     return [[column[i] for i in indices] for column in columns]
 
@@ -266,13 +269,13 @@ class Comparison(Expression):
     def evaluate(self, row: Row) -> bool:
         return bool(_COMPARATORS[self.op](self.left.evaluate(row), self.right.evaluate(row)))
 
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         compare_op = _COMPARATORS[self.op]
         left = self.left.compile(layout)
         right = self.right.compile(layout)
         return lambda row: bool(compare_op(left(row), right(row)))
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         return _compile_binary_vector(
             _COMPARATORS[self.op], self.left, self.right, layout, as_bool=True
         )
@@ -299,13 +302,13 @@ class Arithmetic(Expression):
     def evaluate(self, row: Row) -> Any:
         return _ARITHMETIC[self.op](self.left.evaluate(row), self.right.evaluate(row))
 
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         arithmetic_op = _ARITHMETIC[self.op]
         left = self.left.compile(layout)
         right = self.right.compile(layout)
         return lambda row: arithmetic_op(left(row), right(row))
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         return _compile_binary_vector(
             _ARITHMETIC[self.op], self.left, self.right, layout, as_bool=False
         )
@@ -323,20 +326,20 @@ class And(Expression):
     def evaluate(self, row: Row) -> bool:
         return all(term.evaluate(row) for term in self.terms)
 
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         compiled = tuple(term.compile(layout) for term in self.terms)
         if len(compiled) == 2:  # the overwhelmingly common shape
             first, second = compiled
             return lambda row: bool(first(row)) and bool(second(row))
         return lambda row: all(term(row) for term in compiled)
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         compiled = tuple(term.compile_vector(layout) for term in self.terms)
         if len(compiled) == 1:
             only = compiled[0]
             return lambda columns, n: [bool(value) for value in only(columns, n)]
 
-        def vector(columns: Sequence[list], n: int) -> list:
+        def vector(columns: Sequence[List[Any]], n: int) -> List[Any]:
             # Selection-vector evaluation: each later term sees only the rows
             # every earlier term passed, preserving the row pipeline's
             # short-circuit semantics (a row that fails term 1 never reaches
@@ -380,20 +383,20 @@ class Or(Expression):
     def evaluate(self, row: Row) -> bool:
         return any(term.evaluate(row) for term in self.terms)
 
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         compiled = tuple(term.compile(layout) for term in self.terms)
         if len(compiled) == 2:
             first, second = compiled
             return lambda row: bool(first(row)) or bool(second(row))
         return lambda row: any(term(row) for term in compiled)
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         compiled = tuple(term.compile_vector(layout) for term in self.terms)
         if len(compiled) == 1:
             only = compiled[0]
             return lambda columns, n: [bool(value) for value in only(columns, n)]
 
-        def vector(columns: Sequence[list], n: int) -> list:
+        def vector(columns: Sequence[List[Any]], n: int) -> List[Any]:
             # Dual of And: later terms see only the rows still undecided
             # (every earlier term false), matching per-row short-circuit.
             mask = [bool(value) for value in compiled[0](columns, n)]
@@ -425,11 +428,11 @@ class Not(Expression):
     def evaluate(self, row: Row) -> bool:
         return not self.term.evaluate(row)
 
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         term = self.term.compile(layout)
         return lambda row: not term(row)
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         term = self.term.compile_vector(layout)
         return lambda columns, n: [not value for value in term(columns, n)]
 
@@ -448,7 +451,7 @@ class FunctionCall(Expression):
         function = udf(self.name)
         return function(*(argument.evaluate(row) for argument in self.args))
 
-    def compile(self, layout) -> CompiledExpression:
+    def compile(self, layout: RowLayout) -> CompiledExpression:
         function = udf(self.name)  # unknown UDFs fail at plan time
         compiled = tuple(argument.compile(layout) for argument in self.args)
         if len(compiled) == 1:
@@ -459,7 +462,7 @@ class FunctionCall(Expression):
             return lambda row: function(first(row), second(row))
         return lambda row: function(*(argument(row) for argument in compiled))
 
-    def compile_vector(self, layout) -> VectorExpression:
+    def compile_vector(self, layout: RowLayout) -> VectorExpression:
         function = udf(self.name)  # unknown UDFs fail at plan time
         compiled = tuple(argument.compile_vector(layout) for argument in self.args)
         if len(compiled) == 1:
@@ -487,7 +490,7 @@ class FunctionCall(Expression):
 
 
 def compile_expression(expression: Optional[Expression],
-                       layout) -> Optional[CompiledExpression]:
+                       layout: RowLayout) -> Optional[CompiledExpression]:
     """Compile an optional expression against a layout (``None`` passes through).
 
     Planners use this so "no predicate" needs no special-casing at the call
@@ -499,7 +502,7 @@ def compile_expression(expression: Optional[Expression],
 
 
 def compile_vector_expression(expression: Optional[Expression],
-                              layout) -> Optional[VectorExpression]:
+                              layout: RowLayout) -> Optional[VectorExpression]:
     """Vectorized analogue of :func:`compile_expression` (``None`` passes)."""
     if expression is None:
         return None
@@ -520,12 +523,12 @@ def lit(value: Any) -> Literal:
     return Literal(value)
 
 
-def compare(left, op: str, right) -> Comparison:
+def compare(left: Any, op: str, right: Any) -> Comparison:
     """Build a comparison, wrapping bare values/column names automatically."""
     return Comparison(op, _wrap(left), _wrap(right))
 
 
-def _wrap(value) -> Expression:
+def _wrap(value: Any) -> Expression:
     if isinstance(value, Expression):
         return value
     if isinstance(value, str):
@@ -535,7 +538,7 @@ def _wrap(value) -> Expression:
 
 def tables_referenced(expression: Expression) -> Set[str]:
     """Table aliases mentioned by qualified column references."""
-    aliases = set()
+    aliases: Set[str] = set()
     for name in expression.columns_referenced():
         if "." in name:
             aliases.add(name.split(".", 1)[0])

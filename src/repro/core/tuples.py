@@ -30,13 +30,13 @@ remain the interpreted path (``SimulationConfig(compiled_rows=False)``).
 from __future__ import annotations
 
 import operator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.exceptions import SchemaError
 
 #: Python types accepted for each declared column type.
-_TYPE_MAP = {
+_TYPE_MAP: Dict[str, Tuple[type, ...]] = {
     "int": (int,),
     "float": (int, float),
     "str": (str,),
@@ -121,8 +121,8 @@ class RowLayout:
         be present verbatim, and all missing names are reported at once — but
         at plan time instead of per row.
         """
-        slots = []
-        missing = []
+        slots: List[int] = []
+        missing: List[str] = []
         for name in names:
             index = self.slots.get(name)
             if index is None:
@@ -176,10 +176,10 @@ class Chunk:
 
     __slots__ = ("layout", "columns", "length")
 
-    def __init__(self, layout: RowLayout, columns: Sequence[list],
+    def __init__(self, layout: RowLayout, columns: Sequence[List[Any]],
                  length: Optional[int] = None):
         self.layout = layout
-        self.columns: List[list] = list(columns)
+        self.columns: List[List[Any]] = list(columns)
         if length is None:
             length = len(self.columns[0]) if self.columns else 0
         self.length = length
@@ -213,7 +213,7 @@ class Chunk:
         names = self.layout.names
         return [dict(zip(names, row)) for row in zip(*self.columns)] if self.length else []
 
-    def column(self, name: str) -> list:
+    def column(self, name: str) -> List[Any]:
         """The value array of a column, resolved by exact name."""
         return self.columns[self.layout.slots[name]]
 
@@ -274,6 +274,9 @@ class Schema:
     """An ordered collection of columns."""
 
     columns: Tuple[Column, ...]
+    #: Precomputed slotted-row layout (set by ``__init__``; excluded from the
+    #: generated ``__eq__``/``__repr__`` — it is derived from ``columns``).
+    _layout: RowLayout = field(init=False, repr=False, compare=False)
 
     def __init__(self, columns: Sequence[Column]):
         object.__setattr__(self, "columns", tuple(columns))
@@ -336,7 +339,7 @@ class Schema:
     def __len__(self) -> int:
         return len(self.columns)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Column]:
         return iter(self.columns)
 
 
@@ -368,6 +371,9 @@ class RelationDef:
     primary_key: Optional[str] = None
     resource_id_column: Optional[str] = None
     tuple_bytes: Optional[int] = None
+    #: Slot of the resourceID column in the schema layout (set in
+    #: ``__post_init__``; derived, so excluded from ``__eq__``/``__repr__``).
+    resource_id_slot: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.namespace is None:
@@ -386,10 +392,9 @@ class RelationDef:
             )
         if self.tuple_bytes is None:
             self.tuple_bytes = self.schema.row_bytes()
-        #: Slot of the resourceID column in the schema layout (positional access).
         self.resource_id_slot = self.schema.index_of(self.resource_id_column)
 
-    def resource_id(self, row) -> Any:
+    def resource_id(self, row: Any) -> Any:
         """DHT resourceID of a tuple of this relation (dict or slotted row)."""
         if isinstance(row, dict):
             return row[self.resource_id_column]

@@ -72,10 +72,10 @@ class Zone:
         """Whether ``point`` lies inside this zone."""
         lo = self.lo
         hi = self.hi
-        for dim, coordinate in enumerate(point):
-            if not lo[dim] <= coordinate < hi[dim]:
-                return False
-        return True
+        return all(
+            lo[dim] <= coordinate < hi[dim]
+            for dim, coordinate in enumerate(point)
+        )
 
     def volume(self) -> float:
         """Lebesgue volume of the zone."""
@@ -131,10 +131,9 @@ class Zone:
             b_lo, b_hi = other.lo[dim], other.hi[dim]
             if a_hi == b_lo or b_hi == a_lo:
                 abutting += 1
-            elif a_lo < b_hi and b_lo < a_hi:
-                continue  # strictly overlapping along this dimension
-            else:
+            elif not (a_lo < b_hi and b_lo < a_hi):
                 return False  # disjoint with a gap: cannot be neighbours
+            # otherwise strictly overlapping along this dimension
         return abutting >= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -201,10 +200,7 @@ class CanRouting(RoutingLayer):
 
     def owns_point(self, point: Sequence[float]) -> bool:
         """Whether any of this node's zones contains ``point``."""
-        for zone in self.zones:
-            if zone.contains(point):
-                return True
-        return False
+        return any(zone.contains(point) for zone in self.zones)
 
     def owns(self, key: int) -> bool:
         return self.owns_point(self.key_to_point(key))

@@ -155,9 +155,9 @@ class ChordRouting(RoutingLayer):
             candidates.append((self._identifier_of(self.successor), self.successor))
         best = None
         for identifier, address in candidates:
-            if _in_interval(identifier, self.identifier, ring_key):
-                if best is None or _in_interval(identifier, best[0], ring_key):
-                    best = (identifier, address)
+            if _in_interval(identifier, self.identifier, ring_key) and (
+                    best is None or _in_interval(identifier, best[0], ring_key)):
+                best = (identifier, address)
         if best is not None:
             return best[1]
         if self.successor is not None and self.successor not in self._dead:

@@ -190,8 +190,11 @@ class Provider:
         routing.extract_items = self.storage.extract
         routing.install_items = self.storage.install
 
+        #: Handle of the periodic expiry sweep, cancelled by :meth:`close`.
+        self._sweep_timer = None
         if sweep_period_s > 0:
-            node.schedule_periodic(sweep_period_s, self._sweep)
+            self._sweep_timer = node.schedule_periodic(sweep_period_s,
+                                                       self._sweep)
 
     # --------------------------------------------------------------- helpers
 
@@ -992,7 +995,28 @@ class Provider:
         """Register a handler invoked when a multicast for ``namespace`` arrives."""
         self.multicast_service.subscribe(namespace, handler)
 
+    def off_multicast(self, namespace: str, handler: MulticastHandler) -> bool:
+        """Unregister a handler added by :meth:`on_multicast`.
+
+        Returns whether the handler was still registered.  Every
+        ``on_multicast`` needs a matching ``off_multicast`` on the query
+        teardown path, or the group subscription (and everything the
+        handler closes over) outlives the query.
+        """
+        return self.multicast_service.unsubscribe(namespace, handler)
+
     # ----------------------------------------------------------------- admin
+
+    def close(self) -> None:
+        """Release node-level resources on shutdown/departure.
+
+        Cancels the periodic storage sweep so a drained node (graceful
+        leave, cluster shutdown) does not keep a live timer — on the real
+        transport that timer would hold the event loop open.
+        """
+        if self._sweep_timer is not None:
+            self._sweep_timer.cancel()
+            self._sweep_timer = None
 
     def rebind_routing(self, routing: RoutingLayer) -> None:
         """Point this Provider at a rebuilt routing layer (live membership).

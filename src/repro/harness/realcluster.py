@@ -110,10 +110,10 @@ class LocalCluster:
             except (OSError, NetworkError):
                 if any(proc.poll() is not None for proc in self.processes):
                     self.stop()
-                    raise RuntimeError("a node process died during boot")
+                    raise RuntimeError("a node process died during boot") from None
                 if time.monotonic() >= deadline:
                     self.stop()
-                    raise RuntimeError("cluster did not become ready in time")
+                    raise RuntimeError("cluster did not become ready in time") from None
                 time.sleep(0.3)
         self._resolve_addresses()
         return self.pier

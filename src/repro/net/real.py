@@ -267,8 +267,12 @@ class RealTransport(Transport):
         for task in tasks:
             try:
                 await task
-            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            except asyncio.CancelledError:
                 pass
+            except Exception:  # noqa: BLE001 — close() must finish, but a
+                # writer task that *crashed* (vs. was cancelled) is a real
+                # defect: surface it instead of swallowing it.
+                log.exception("peer writer task failed during close")
         for peer in self._pool.values():
             self._drain_peer(peer)
         self._pool.clear()

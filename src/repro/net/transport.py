@@ -56,13 +56,20 @@ class TimerService(ABC):
 
     @abstractmethod
     def schedule(self, delay: float, callback: Callable[..., None],
-                 *args: Any):
-        """Run ``callback(*args)`` once, ``delay`` seconds from now."""
+                 *args: Any) -> Any:
+        """Run ``callback(*args)`` once, ``delay`` seconds from now.
+
+        Returns a handle exposing ``cancel()`` / ``cancelled`` / ``time``;
+        the concrete handle type is implementation-specific.
+        """
 
     @abstractmethod
     def schedule_periodic(self, period: float, callback: Callable[..., None],
-                          *args: Any, initial_delay: Optional[float] = None):
-        """Run ``callback(*args)`` every ``period`` seconds until cancelled."""
+                          *args: Any, initial_delay: Optional[float] = None) -> Any:
+        """Run ``callback(*args)`` every ``period`` seconds until cancelled.
+
+        Returns a handle exposing ``cancel()`` / ``active``.
+        """
 
 
 class Transport(ABC):

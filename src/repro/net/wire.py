@@ -44,7 +44,7 @@ from __future__ import annotations
 import importlib
 import struct
 from enum import Enum
-from typing import Any, Callable, Dict, Tuple, Type
+from typing import Any, Callable, Dict, List, Type
 
 from repro.exceptions import NetworkError, SketchError
 from repro.net.message import Message
@@ -95,7 +95,7 @@ class _Packer:
     __slots__ = ("_chunks",)
 
     def __init__(self) -> None:
-        self._chunks = []
+        self._chunks: List[bytes] = []
 
     def bytes(self) -> bytes:
         return b"".join(self._chunks)
@@ -276,7 +276,7 @@ def pack(value: Any) -> bytes:
 # -------------------------------------------------------------- unpacking
 
 
-def _resolve_class(module: str, qualname: str) -> Type:
+def _resolve_class(module: str, qualname: str) -> Type[Any]:
     if not any(module.startswith(root) or module == root.rstrip(".")
                for root in _TRUSTED_ROOTS):
         raise WireError(f"refusing to load class from untrusted module {module!r}")
@@ -323,11 +323,11 @@ class _Unpacker:
             raise WireError(f"unsupported msgpack type byte 0x{first:02x}")
         return handler(self)
 
-    def _unpack_array(self, length: int) -> list:
+    def _unpack_array(self, length: int) -> List[Any]:
         return [self.unpack() for _ in range(length)]
 
-    def _unpack_map(self, length: int) -> dict:
-        result = {}
+    def _unpack_map(self, length: int) -> Dict[Any, Any]:
+        result: Dict[Any, Any] = {}
         for _ in range(length):
             key = self.unpack()
             result[key] = self.unpack()
@@ -360,14 +360,14 @@ class _Unpacker:
         raise WireError(f"unknown wire ext type {code}")
 
 
-def _make_scalar(fmt: str, size: int):
+def _make_scalar(fmt: str, size: int) -> Callable[[_Unpacker], Any]:
     def _handler(self: _Unpacker) -> Any:
         return struct.unpack(fmt, self._take(size))[0]
 
     return _handler
 
 
-def _make_str(fmt: str, size: int):
+def _make_str(fmt: str, size: int) -> Callable[[_Unpacker], str]:
     def _handler(self: _Unpacker) -> str:
         length = struct.unpack(fmt, self._take(size))[0]
         return self._take(length).decode("utf-8")
@@ -375,7 +375,7 @@ def _make_str(fmt: str, size: int):
     return _handler
 
 
-def _make_bin(fmt: str, size: int):
+def _make_bin(fmt: str, size: int) -> Callable[[_Unpacker], bytes]:
     def _handler(self: _Unpacker) -> bytes:
         length = struct.unpack(fmt, self._take(size))[0]
         return bytes(self._take(length))
@@ -383,7 +383,7 @@ def _make_bin(fmt: str, size: int):
     return _handler
 
 
-def _make_seq(fmt: str, size: int, is_map: bool):
+def _make_seq(fmt: str, size: int, is_map: bool) -> Callable[[_Unpacker], Any]:
     def _handler(self: _Unpacker) -> Any:
         length = struct.unpack(fmt, self._take(size))[0]
         return self._unpack_map(length) if is_map else self._unpack_array(length)
@@ -391,7 +391,7 @@ def _make_seq(fmt: str, size: int, is_map: bool):
     return _handler
 
 
-def _make_fixext(size: int):
+def _make_fixext(size: int) -> Callable[[_Unpacker], Any]:
     def _handler(self: _Unpacker) -> Any:
         code = struct.unpack("b", self._take(1))[0]
         return self._unpack_ext(code, self._take(size))
@@ -399,7 +399,7 @@ def _make_fixext(size: int):
     return _handler
 
 
-def _make_ext(fmt: str, size: int):
+def _make_ext(fmt: str, size: int) -> Callable[[_Unpacker], Any]:
     def _handler(self: _Unpacker) -> Any:
         length = struct.unpack(fmt, self._take(size))[0]
         code = struct.unpack("b", self._take(1))[0]
@@ -479,10 +479,10 @@ class FrameDecoder:
         self._buffer = bytearray()
         self._max = max_frame_bytes
 
-    def feed(self, data: bytes) -> list:
+    def feed(self, data: bytes) -> List[Any]:
         """Absorb ``data``; return every frame completed by it, in order."""
         self._buffer.extend(data)
-        frames = []
+        frames: List[Any] = []
         while True:
             if len(self._buffer) < 4:
                 return frames
@@ -501,7 +501,7 @@ class FrameDecoder:
 # ------------------------------------------------------- message envelopes
 
 
-def message_to_wire(message: Message) -> dict:
+def message_to_wire(message: Message) -> Dict[str, Any]:
     """The node-to-node frame body for a :class:`Message`."""
     return {
         "t": "msg",
@@ -514,7 +514,7 @@ def message_to_wire(message: Message) -> dict:
     }
 
 
-def message_from_wire(body: dict) -> Message:
+def message_from_wire(body: Dict[str, Any]) -> Message:
     """Rebuild the :class:`Message` a peer framed with :func:`message_to_wire`."""
     return Message(
         src=body["src"],

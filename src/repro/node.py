@@ -220,6 +220,8 @@ class PierNode:
     async def run_forever(self) -> None:
         await self.start()
         await self._stopping.wait()
+        if self.provider is not None:
+            self.provider.close()
         await self.transport.close()
 
     async def _bootstrap(self) -> None:

@@ -128,7 +128,7 @@ class SketchBase:
         """Union another sketch of the same configuration into this one."""
         raise NotImplementedError
 
-    def estimate(self):
+    def estimate(self) -> Any:
         """Finalise the summary into an estimate."""
         raise NotImplementedError
 

@@ -85,8 +85,9 @@ class HyperLogLog(SketchBase):
         if self.registers[index] < rank:
             self.registers[index] = rank
 
-    def merge(self, other: "HyperLogLog") -> None:
+    def merge(self, other: SketchBase) -> None:
         self._require_compatible(other, "log2m", "seed")
+        assert isinstance(other, HyperLogLog)  # guaranteed by the check above
         mine = self.registers
         theirs = other.registers
         for index, rank in enumerate(theirs):

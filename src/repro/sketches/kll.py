@@ -63,8 +63,9 @@ class KLLSketch(SketchBase):
         self.levels[0].append(float(value))
         self._compress()
 
-    def merge(self, other: "KLLSketch") -> None:
+    def merge(self, other: SketchBase) -> None:
         self._require_compatible(other, "k", "seed")
+        assert isinstance(other, KLLSketch)  # guaranteed by the check above
         while len(self.levels) < len(other.levels):
             self.levels.append([])
         for level, buffer in enumerate(other.levels):

@@ -82,19 +82,20 @@ class TopKSketch(SketchBase):
     def add(self, value: Any, count: int = 1) -> None:
         if count <= 0:
             return
-        estimate = None
+        estimate: Optional[int] = None
         for row in range(self.depth):
             index = hash64(value, self._row_seed(row)) % self.width
             counters = self.rows[row]
             counters[index] += count
             if estimate is None or counters[index] < estimate:
                 estimate = counters[index]
+        assert estimate is not None  # depth >= 1 always sets it
         self.candidates[value] = estimate
         self._trim()
 
     def point(self, value: Any) -> int:
         """Frequency estimate of one value (an upper bound on the truth)."""
-        estimate = None
+        estimate: Optional[int] = None
         for row in range(self.depth):
             index = hash64(value, self._row_seed(row)) % self.width
             count = self.rows[row][index]
@@ -102,8 +103,9 @@ class TopKSketch(SketchBase):
                 estimate = count
         return estimate or 0
 
-    def merge(self, other: "TopKSketch") -> None:
+    def merge(self, other: SketchBase) -> None:
         self._require_compatible(other, "k", "width", "depth", "seed")
+        assert isinstance(other, TopKSketch)  # guaranteed by the check above
         for mine, theirs in zip(self.rows, other.rows):
             for index, count in enumerate(theirs):
                 if count:
@@ -156,7 +158,7 @@ class TopKSketch(SketchBase):
                 f"k={k}, width={width}, depth={depth}"
             )
         offset = 16
-        rows = []
+        rows: List[List[int]] = []
         try:
             for _ in range(depth):
                 rows.append(list(struct.unpack_from(f">{width}Q", payload, offset)))

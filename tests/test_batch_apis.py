@@ -7,6 +7,8 @@ destination messages.  Covered for both CAN and Chord, including a node
 failing mid-batch.
 """
 
+import math
+
 import pytest
 
 from repro.dht.can import CanNetworkBuilder
@@ -18,7 +20,7 @@ from repro.net.topology import FullMeshTopology
 
 
 def build_network(dht="can", num_nodes=16, latency=0.02, batching=True,
-                  coalesce_window_s=0.0, capacity=float("inf")):
+                  coalesce_window_s=0.0, capacity=math.inf):
     network = Network(
         FullMeshTopology(num_nodes, latency_s=latency,
                          capacity_bytes_per_s=capacity),

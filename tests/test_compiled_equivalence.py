@@ -85,8 +85,8 @@ def test_every_fixture_expression_is_equivalent_compiled(values):
     slotted = tuple(values)
     environment = dict(zip(MERGED_LAYOUT.names, slotted))
     for expression in EXPRESSION_FIXTURES:
-        interpreted = _outcome(lambda: expression.evaluate(environment))
-        compiled = _outcome(lambda: expression.compile(MERGED_LAYOUT)(slotted))
+        interpreted = _outcome(lambda e=expression: e.evaluate(environment))
+        compiled = _outcome(lambda e=expression: e.compile(MERGED_LAYOUT)(slotted))
         assert interpreted == compiled, f"{expression!r} diverged: " \
             f"interpreted={interpreted} compiled={compiled}"
 

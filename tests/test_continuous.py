@@ -98,7 +98,7 @@ def test_windowed_periodic_query_only_counts_recent_rows():
     pier = build_pier(6)
     # The simulation clock starts at 0, so give every report a timestamp far
     # in the past relative to the 10-second sliding window.
-    for node, rows in workload.intrusions_by_node.items():
+    for rows in workload.intrusions_by_node.values():
         for row in rows:
             row["timestamp"] = -100.0
     pier.load_relation(workload.intrusions, workload.intrusions_by_node)

@@ -1,5 +1,7 @@
 """Unit tests for the Network / Node message fabric, stats and failure injection."""
 
+import math
+
 import pytest
 
 from repro.exceptions import NetworkError
@@ -10,7 +12,7 @@ from repro.net.stats import TrafficStats
 from repro.net.topology import FullMeshTopology
 
 
-def make_network(num_nodes=4, latency=0.1, capacity=float("inf")):
+def make_network(num_nodes=4, latency=0.1, capacity=math.inf):
     return Network(FullMeshTopology(num_nodes, latency_s=latency,
                                     capacity_bytes_per_s=capacity))
 

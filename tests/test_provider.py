@@ -241,3 +241,43 @@ def test_multicast_skips_failed_nodes_but_reaches_rest():
     assert 9 not in deliveries
     # The flood must still reach the overwhelming majority of live nodes.
     assert len(deliveries) >= 13
+
+
+def test_off_multicast_unregisters_handler():
+    """Regression (pierlint PL302): on_multicast needs a symmetric
+    off_multicast on the Provider surface — teardown paths must not reach
+    into multicast_service directly."""
+    network, providers, _builder = build_provider_network(6)
+    received = []
+
+    def handler(ns, rid, item, origin):
+        received.append(item)
+
+    providers[5].on_multicast("announce", handler)
+    providers[2].multicast("announce", "r1", "first")
+    network.run_until_idle()
+    assert received == ["first"]
+
+    assert providers[5].off_multicast("announce", handler) is True
+    providers[2].multicast("announce", "r2", "second")
+    network.run_until_idle()
+    assert received == ["first"]
+    # Unsubscribing twice is a no-op, not an error.
+    assert providers[5].off_multicast("announce", handler) is False
+
+
+def test_provider_close_cancels_sweep_timer():
+    """Regression (pierlint PL303): the periodic expiry sweep handle must be
+    held and cancelled on close(), or a drained node keeps a live timer."""
+    network, providers, _builder = build_provider_network(4, sweep=5.0)
+    # A periodic sweep reschedules itself forever, so the network never goes
+    # idle — settle with a bounded run that lets a couple of sweeps fire.
+    network.run(until=12.0)
+    provider = providers[0]
+    assert provider._sweep_timer is not None
+    handle = provider._sweep_timer
+    assert handle.active
+    provider.close()
+    assert provider._sweep_timer is None
+    assert not handle.active
+    provider.close()  # idempotent

@@ -106,10 +106,10 @@ def test_catalog_contains_both_relations():
 
 def test_monitoring_rows_conform_to_schemas():
     workload = NetworkMonitoringWorkload(num_nodes=12, seed=2)
-    for node, rows in workload.intrusions_by_node.items():
+    for rows in workload.intrusions_by_node.values():
         for row in rows:
             workload.intrusions.validate(row)
-    for node, rows in workload.reputation_by_node.items():
+    for rows in workload.reputation_by_node.values():
         for row in rows:
             workload.reputation.validate(row)
 
